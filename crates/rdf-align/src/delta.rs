@@ -1,0 +1,219 @@
+//! Deltas from alignments.
+//!
+//! The paper's related work notes that "constructing an alignment between
+//! two graphs is virtually equivalent to constructing their delta [20]" —
+//! a description of the changes between versions. This module derives
+//! that delta: once the alignment identifies corresponding nodes, every
+//! triple is classified as *kept* (its color triple appears on both
+//! sides), *deleted* (source-only) or *inserted* (target-only), and
+//! aligned-but-renamed nodes are reported as renames.
+
+use crate::partition::{Partition, SideCounts};
+use rdf_model::{CombinedGraph, FxHashSet, NodeId, Side, Triple, Vocab};
+
+/// The delta between two versions under an alignment.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Source triples whose class also occurs on the target side.
+    pub kept: Vec<Triple>,
+    /// Source triples with no corresponding target triple.
+    pub deleted: Vec<Triple>,
+    /// Target triples with no corresponding source triple.
+    pub inserted: Vec<Triple>,
+    /// Aligned node pairs whose labels differ (renamed URIs; combined
+    /// graph ids, source first).
+    pub renamed: Vec<(NodeId, NodeId)>,
+}
+
+impl Delta {
+    /// Total number of change operations (deletions + insertions).
+    pub fn change_count(&self) -> usize {
+        self.deleted.len() + self.inserted.len()
+    }
+
+    /// Fraction of source triples kept.
+    pub fn kept_fraction(&self) -> f64 {
+        let total = self.kept.len() + self.deleted.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.kept.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Compute the delta induced by a partition over a combined graph.
+pub fn delta(partition: &Partition, combined: &CombinedGraph) -> Delta {
+    let g = combined.graph();
+    let mut s1: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+    let mut s2: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+    for t in g.triples() {
+        let key = (
+            partition.color(t.s).0,
+            partition.color(t.p).0,
+            partition.color(t.o).0,
+        );
+        match combined.side(t.s) {
+            Side::Source => s1.insert(key),
+            Side::Target => s2.insert(key),
+        };
+    }
+    let mut out = Delta::default();
+    for t in g.triples() {
+        let key = (
+            partition.color(t.s).0,
+            partition.color(t.p).0,
+            partition.color(t.o).0,
+        );
+        match combined.side(t.s) {
+            Side::Source => {
+                if s2.contains(&key) {
+                    out.kept.push(*t);
+                } else {
+                    out.deleted.push(*t);
+                }
+            }
+            Side::Target => {
+                if !s1.contains(&key) {
+                    out.inserted.push(*t);
+                }
+            }
+        }
+    }
+
+    // Renames: aligned classes that contain nodes with differing labels.
+    let counts = SideCounts::new(partition, combined);
+    let k = partition.num_colors() as usize;
+    let mut source_rep: Vec<Option<NodeId>> = vec![None; k];
+    for n in combined.source_nodes() {
+        let c = partition.color(n).index();
+        if counts.source[c] == 1 && counts.target[c] == 1 {
+            source_rep[c] = Some(n);
+        }
+    }
+    for m in combined.target_nodes() {
+        let c = partition.color(m).index();
+        if let Some(n) = source_rep[c] {
+            if g.label(n) != g.label(m) && !g.is_blank(n) && !g.is_blank(m) {
+                out.renamed.push((n, m));
+            }
+        }
+    }
+    out.renamed.sort_unstable();
+    out
+}
+
+/// Render a delta as human-readable change lines.
+pub fn render_delta(
+    d: &Delta,
+    combined: &CombinedGraph,
+    vocab: &Vocab,
+    limit: usize,
+) -> String {
+    let g = combined.graph();
+    let show = |n: NodeId| -> String {
+        match vocab.resolve(g.label(n)) {
+            rdf_model::LabelRef::Blank => format!("_:n{}", n.0),
+            other => other.to_string(),
+        }
+    };
+    let mut out = format!(
+        "delta: {} kept, {} deleted, {} inserted, {} renamed\n",
+        d.kept.len(),
+        d.deleted.len(),
+        d.inserted.len(),
+        d.renamed.len()
+    );
+    for t in d.deleted.iter().take(limit) {
+        out.push_str(&format!("- {} {} {}\n", show(t.s), show(t.p), show(t.o)));
+    }
+    for t in d.inserted.iter().take(limit) {
+        out.push_str(&format!("+ {} {} {}\n", show(t.s), show(t.p), show(t.o)));
+    }
+    for &(n, m) in d.renamed.iter().take(limit) {
+        out.push_str(&format!("~ {} -> {}\n", show(n), show(m)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{hybrid_partition, trivial_partition};
+    use rdf_model::RdfGraphBuilder;
+
+    fn versions() -> (Vocab, CombinedGraph) {
+        // old:x is renamed to new:x with unchanged content (hybrid can
+        // align it); the churn happens on the stable URI y.
+        let mut vocab = Vocab::new();
+        let v1 = {
+            let mut b = RdfGraphBuilder::new(&mut vocab);
+            b.uul("old:x", "p", "stable value");
+            b.uul("y", "p", "dropped value");
+            b.finish()
+        };
+        let v2 = {
+            let mut b = RdfGraphBuilder::new(&mut vocab);
+            b.uul("new:x", "p", "stable value");
+            b.uul("y", "p", "added value");
+            b.finish()
+        };
+        let c = CombinedGraph::union(&vocab, &v1, &v2);
+        (vocab, c)
+    }
+
+    #[test]
+    fn delta_under_hybrid_sees_through_rename() {
+        let (_, c) = versions();
+        let h = hybrid_partition(&c).partition;
+        let d = delta(&h, &c);
+        // (x, p, "stable value") is kept despite the subject rename.
+        assert_eq!(d.kept.len(), 1);
+        assert_eq!(d.deleted.len(), 1);
+        assert_eq!(d.inserted.len(), 1);
+        assert_eq!(d.renamed.len(), 1);
+        assert!((d.kept_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(d.change_count(), 2);
+    }
+
+    #[test]
+    fn delta_under_trivial_misses_the_rename() {
+        let (_, c) = versions();
+        let t = trivial_partition(&c);
+        let d = delta(&t, &c);
+        // Without the rename, x's triple also looks changed.
+        assert_eq!(d.kept.len(), 0);
+        assert_eq!(d.deleted.len(), 2);
+        assert_eq!(d.inserted.len(), 2);
+        assert!(d.renamed.is_empty());
+    }
+
+    #[test]
+    fn render_shows_operations() {
+        let (vocab, c) = versions();
+        let h = hybrid_partition(&c).partition;
+        let d = delta(&h, &c);
+        let text = render_delta(&d, &c, &vocab, 10);
+        assert!(text.contains("1 kept"));
+        assert!(text.contains("~ old:x -> new:x"));
+        assert!(text.contains("- y p"));
+        assert!(text.contains("+ y p"));
+    }
+
+    #[test]
+    fn self_delta_is_empty() {
+        let mut vocab = Vocab::new();
+        let v = {
+            let mut b = RdfGraphBuilder::new(&mut vocab);
+            b.uub("x", "p", "rec");
+            b.bul("rec", "f", "v");
+            b.finish()
+        };
+        let c = CombinedGraph::union(&vocab, &v, &v);
+        let h = hybrid_partition(&c).partition;
+        let d = delta(&h, &c);
+        assert!(d.deleted.is_empty());
+        assert!(d.inserted.is_empty());
+        assert_eq!(d.kept_fraction(), 1.0);
+    }
+}

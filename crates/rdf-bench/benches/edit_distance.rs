@@ -1,0 +1,90 @@
+//! Edit-distance substrate benchmarks: Levenshtein variants, the
+//! Hungarian algorithm, and the σ_Edit matrix on a small graph pair
+//! (demonstrating why the paper needed the overlap approximation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf_align::methods::hybrid_partition;
+use rdf_datagen::{generate_gtopdb, GtopdbConfig};
+use rdf_edit::hungarian::hungarian;
+use rdf_edit::levenshtein::{levenshtein, levenshtein_bounded, normalized_levenshtein};
+use rdf_edit::sigma_edit::{SigmaEdit, SigmaEditConfig};
+use rdf_model::CombinedGraph;
+
+fn lev(c: &mut Criterion) {
+    let mut group = c.benchmark_group("levenshtein");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let a = "experimental factor ontology term with a long descriptive name";
+    let b = "experimental factor ontology term with a long descriptve names";
+    group.bench_function("full", |bench| {
+        bench.iter(|| levenshtein(std::hint::black_box(a), std::hint::black_box(b)))
+    });
+    group.bench_function("bounded-2", |bench| {
+        bench.iter(|| levenshtein_bounded(std::hint::black_box(a), std::hint::black_box(b), 2))
+    });
+    group.bench_function("normalized", |bench| {
+        bench.iter(|| normalized_levenshtein(std::hint::black_box(a), std::hint::black_box(b)))
+    });
+    group.finish();
+}
+
+fn hung(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[8usize, 32, 64] {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| ((i * 31 + j * 17) % 101) as f64 / 101.0)
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, m| {
+            b.iter(|| hungarian(std::hint::black_box(m)))
+        });
+    }
+    group.finish();
+}
+
+fn sigma_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sigma-edit");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    // Small on purpose: σ_Edit is quadratic with a Hungarian call per
+    // cell per iteration.
+    let ds = generate_gtopdb(&GtopdbConfig {
+        ligands: 20,
+        versions: 2,
+        ..GtopdbConfig::default()
+    });
+    let combined = CombinedGraph::union(
+        &ds.vocab,
+        &ds.versions[0].graph,
+        &ds.versions[1].graph,
+    );
+    let colors: Vec<u32> = hybrid_partition(&combined)
+        .partition
+        .colors()
+        .iter()
+        .map(|c| c.0)
+        .collect();
+    group.bench_function("matrix", |b| {
+        b.iter(|| {
+            SigmaEdit::compute(
+                &combined,
+                &ds.vocab,
+                &colors,
+                SigmaEditConfig {
+                    epsilon: 1e-6,
+                    max_iterations: 8,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lev, hung, sigma_edit);
+criterion_main!(benches);

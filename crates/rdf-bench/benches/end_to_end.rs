@@ -1,0 +1,68 @@
+//! End-to-end pipeline benchmarks per dataset (the Fig 16 measurement,
+//! under Criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf_align::methods::{hybrid_partition, trivial_partition};
+use rdf_align::overlap_align::{overlap_align, OverlapConfig};
+use rdf_datagen::{
+    generate_dbpedia, generate_efo, DbpediaConfig, EfoConfig,
+};
+use rdf_model::CombinedGraph;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end-to-end");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+
+    let efo = generate_efo(&EfoConfig {
+        classes: 300,
+        versions: 2,
+        ..EfoConfig::default()
+    });
+    let efo_pair = CombinedGraph::union(
+        &efo.vocab,
+        &efo.versions[0].graph,
+        &efo.versions[1].graph,
+    );
+
+    let dbp = generate_dbpedia(&DbpediaConfig {
+        categories: 300,
+        articles: 1200,
+        versions: 2,
+        ..DbpediaConfig::default()
+    });
+    let dbp_pair = CombinedGraph::union(
+        &dbp.vocab,
+        &dbp.versions[0].graph,
+        &dbp.versions[1].graph,
+    );
+
+    for (name, pair, vocab) in [
+        ("efo", &efo_pair, &efo.vocab),
+        ("dbpedia", &dbp_pair, &dbp.vocab),
+    ] {
+        let nodes = pair.graph().node_count();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/trivial"), nodes),
+            pair,
+            |b, c| b.iter(|| trivial_partition(c)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/hybrid"), nodes),
+            pair,
+            |b, c| b.iter(|| hybrid_partition(c)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/overlap"), nodes),
+            pair,
+            |b, c| {
+                b.iter(|| overlap_align(c, vocab, OverlapConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

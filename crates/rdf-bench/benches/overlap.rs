@@ -1,0 +1,71 @@
+//! Overlap-alignment benchmarks: Algorithm 1 (matcher) and Algorithm 2
+//! (full alignment) on GtoPdb-like version pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf_align::overlap::{overlap_match, PrefixBound};
+use rdf_align::overlap_align::{overlap_align, split_words, OverlapConfig};
+use rdf_datagen::{generate_gtopdb, GtopdbConfig};
+use rdf_model::{CombinedGraph, NodeId};
+
+fn overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &ligands in &[60usize, 150] {
+        let ds = generate_gtopdb(&GtopdbConfig {
+            ligands,
+            versions: 2,
+            ..GtopdbConfig::default()
+        });
+        let combined = CombinedGraph::union(
+            &ds.vocab,
+            &ds.versions[0].graph,
+            &ds.versions[1].graph,
+        );
+        let nodes = combined.graph().node_count();
+        group.bench_with_input(
+            BenchmarkId::new("overlap-align", nodes),
+            &combined,
+            |b, c| {
+                b.iter(|| {
+                    overlap_align(c, &ds.vocab, OverlapConfig::default())
+                })
+            },
+        );
+    }
+
+    // Algorithm 1 alone on synthetic word sets.
+    for &n in &[1000usize, 5000] {
+        let a: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let b_nodes: Vec<NodeId> =
+            (n as u32..2 * n as u32).map(NodeId).collect();
+        let char_a: Vec<Vec<u64>> = (0..n)
+            .map(|i| split_words(&format!("entity number {} of cohort {}", i, i % 37)))
+            .collect();
+        let char_b: Vec<Vec<u64>> = (0..n)
+            .map(|i| split_words(&format!("entity number {} of cohort {}", i, i % 37)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("overlap-match", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    overlap_match(
+                        &a,
+                        &char_a,
+                        &b_nodes,
+                        &char_b,
+                        0.65,
+                        |_, _| 0.0,
+                        PrefixBound::Safe,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overlap);
+criterion_main!(benches);

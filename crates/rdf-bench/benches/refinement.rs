@@ -1,0 +1,52 @@
+//! Partition-refinement micro-benchmarks: the engine behind Trivial,
+//! Deblank, Hybrid and the maximal bisimulation (Proposition 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf_align::methods::{deblank_partition, hybrid_partition, trivial_partition};
+use rdf_align::refine::bisimulation_partition;
+use rdf_datagen::{generate_efo, EfoConfig};
+use rdf_model::CombinedGraph;
+
+fn refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for &classes in &[100usize, 400, 1000] {
+        let ds = generate_efo(&EfoConfig {
+            classes,
+            versions: 2,
+            ..EfoConfig::default()
+        });
+        let combined = CombinedGraph::union(
+            &ds.vocab,
+            &ds.versions[0].graph,
+            &ds.versions[1].graph,
+        );
+        let nodes = combined.graph().node_count();
+        group.bench_with_input(
+            BenchmarkId::new("trivial", nodes),
+            &combined,
+            |b, c| b.iter(|| trivial_partition(c)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deblank", nodes),
+            &combined,
+            |b, c| b.iter(|| deblank_partition(c)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", nodes),
+            &combined,
+            |b, c| b.iter(|| hybrid_partition(c)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full-bisimulation", nodes),
+            &combined,
+            |b, c| b.iter(|| bisimulation_partition(c.graph())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, refinement);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro [FIGURE ...] [--scale F] [--theta T]
+//!
+//! FIGURE: fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 | all
+//! --scale F   dataset scale factor (default 1.0; ~75 ≈ paper scale
+//!             for EFO, ~650 for DBpedia)
+//! --theta T   overlap threshold θ (default 0.65)
+//! ```
+
+use rdf_bench::figures::{
+    fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig9, ReproOptions,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ReproOptions::default();
+    let mut figures: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--theta" => {
+                opts.theta = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--theta needs a number"));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [fig9..fig16|all] [--scale F] [--theta T]");
+                return;
+            }
+            f if f.starts_with("fig") || f == "all" => {
+                figures.push(f.to_string())
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = (9..=16).map(|i| format!("fig{i}")).collect();
+    }
+
+    for f in &figures {
+        let start = std::time::Instant::now();
+        let out = match f.as_str() {
+            "fig9" => fig9(&opts),
+            "fig10" => fig10(&opts),
+            "fig11" => fig11(&opts),
+            "fig12" => fig12(&opts),
+            "fig13" => fig13(&opts),
+            "fig14" => fig14(&opts),
+            "fig15" => fig15(&opts),
+            "fig16" => fig16(&opts),
+            other => die(&format!("unknown figure {other}")),
+        };
+        println!("{out}");
+        eprintln!("[{f} took {:.2}s]\n", start.elapsed().as_secs_f64());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2)
+}

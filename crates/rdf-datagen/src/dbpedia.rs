@@ -1,0 +1,224 @@
+//! DBpedia-category-like growing dataset (§5.3 scalability workload).
+//!
+//! The paper's scalability runs use a DBpedia subset with category
+//! information: a SKOS-ish category hierarchy (`skos:broader`) plus
+//! Wikipedia article categorisation (`dcterms:subject`), growing from
+//! 2.6M nodes / 7.6M edges (v3.0) to 4.2M / 13.7M (v3.5). The generator
+//! reproduces the *growth* trend at a configurable scale: each version
+//! keeps the previous content (plus light label churn) and adds new
+//! categories and articles.
+
+use crate::dataset::{EvolvingDataset, VersionedGraph};
+use crate::words::{edit_label, make_label};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::{FxHashMap, RdfGraphBuilder, Vocab};
+
+/// Configuration of the DBpedia-like generator.
+#[derive(Debug, Clone)]
+pub struct DbpediaConfig {
+    /// Categories in the first version.
+    pub categories: usize,
+    /// Articles in the first version.
+    pub articles: usize,
+    /// Number of versions.
+    pub versions: usize,
+    /// Per-version growth factor (applied to both kinds).
+    pub growth: f64,
+    /// Fraction of labels edited per version.
+    pub churn: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DbpediaConfig {
+    fn default() -> Self {
+        DbpediaConfig {
+            categories: 400,
+            articles: 1600,
+            versions: 6,
+            growth: 1.10,
+            churn: 0.01,
+            seed: 0xDB9,
+        }
+    }
+}
+
+impl DbpediaConfig {
+    /// Scale both node kinds (≈ 650 for paper scale).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.categories =
+            ((self.categories as f64) * factor).round() as usize;
+        self.articles = ((self.articles as f64) * factor).round() as usize;
+        self
+    }
+}
+
+struct Category {
+    label: String,
+    parent: Option<usize>,
+}
+
+struct Article {
+    label: String,
+    subjects: Vec<usize>,
+}
+
+/// Generate the DBpedia-like growing dataset.
+pub fn generate_dbpedia(config: &DbpediaConfig) -> EvolvingDataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut cats: Vec<Category> = Vec::new();
+    let mut arts: Vec<Article> = Vec::new();
+
+    let grow = |cats: &mut Vec<Category>,
+                    arts: &mut Vec<Article>,
+                    n_cats: usize,
+                    n_arts: usize,
+                    rng: &mut SmallRng| {
+        while cats.len() < n_cats {
+            let parent = if cats.is_empty() {
+                None
+            } else {
+                Some(rng.gen_range(0..cats.len()))
+            };
+            cats.push(Category {
+                label: { let n = rng.gen_range(1..4); make_label(rng, n) },
+                parent,
+            });
+        }
+        while arts.len() < n_arts {
+            let k = rng.gen_range(1..4usize);
+            let subjects =
+                (0..k).map(|_| rng.gen_range(0..cats.len())).collect();
+            arts.push(Article {
+                label: { let n = rng.gen_range(2..6); make_label(rng, n) },
+                subjects,
+            });
+        }
+    };
+
+    let mut vocab = Vocab::new();
+    let mut versions = Vec::new();
+    let mut n_cats = config.categories;
+    let mut n_arts = config.articles;
+    for v in 0..config.versions {
+        if v > 0 {
+            n_cats = ((n_cats as f64) * config.growth).round() as usize;
+            n_arts = ((n_arts as f64) * config.growth).round() as usize;
+            // Label churn on existing entities.
+            let n_edit = ((cats.len() + arts.len()) as f64
+                * config.churn) as usize;
+            for _ in 0..n_edit {
+                if rng.gen_bool(0.3) && !cats.is_empty() {
+                    let i = rng.gen_range(0..cats.len());
+                    cats[i].label = edit_label(&mut rng, &cats[i].label);
+                } else if !arts.is_empty() {
+                    let i = rng.gen_range(0..arts.len());
+                    arts[i].label = edit_label(&mut rng, &arts[i].label);
+                }
+            }
+        }
+        grow(&mut cats, &mut arts, n_cats, n_arts, &mut rng);
+        versions.push(render(&cats, &arts, &mut vocab));
+    }
+
+    EvolvingDataset { vocab, versions }
+}
+
+fn render(
+    cats: &[Category],
+    arts: &[Article],
+    vocab: &mut Vocab,
+) -> VersionedGraph {
+    let mut b = RdfGraphBuilder::new(vocab);
+    let mut entities = FxHashMap::default();
+    let cat_uri =
+        |i: usize| format!("http://dbpedia.org/resource/Category:c{i}");
+    for (i, c) in cats.iter().enumerate() {
+        let uri = cat_uri(i);
+        let n = b.uri_node(&uri);
+        entities.insert(format!("cat:{i}"), n);
+        b.uul(
+            &uri,
+            "http://www.w3.org/2000/01/rdf-schema#label",
+            &c.label,
+        );
+        if let Some(p) = c.parent {
+            b.uuu(
+                &uri,
+                "http://www.w3.org/2004/02/skos/core#broader",
+                &cat_uri(p),
+            );
+        }
+    }
+    for (i, a) in arts.iter().enumerate() {
+        let uri = format!("http://dbpedia.org/resource/a{i}");
+        let n = b.uri_node(&uri);
+        entities.insert(format!("art:{i}"), n);
+        b.uul(
+            &uri,
+            "http://www.w3.org/2000/01/rdf-schema#label",
+            &a.label,
+        );
+        for &s in &a.subjects {
+            b.uuu(
+                &uri,
+                "http://purl.org/dc/terms/subject",
+                &cat_uri(s),
+            );
+        }
+    }
+    VersionedGraph {
+        graph: b.finish(),
+        entities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_grow_proportionally() {
+        let ds = generate_dbpedia(&DbpediaConfig {
+            categories: 100,
+            articles: 300,
+            versions: 6,
+            ..DbpediaConfig::default()
+        });
+        let sizes: Vec<usize> =
+            ds.versions.iter().map(|v| v.stats().edges).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0], "sizes {sizes:?}");
+        }
+        // Final ≈ initial × 1.1^5.
+        let ratio = sizes[5] as f64 / sizes[0] as f64;
+        assert!(ratio > 1.3 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn no_blanks() {
+        let ds = generate_dbpedia(&DbpediaConfig::default());
+        for v in &ds.versions {
+            assert_eq!(v.stats().blanks, 0);
+        }
+    }
+
+    #[test]
+    fn old_entities_persist() {
+        let ds = generate_dbpedia(&DbpediaConfig::default());
+        let gt = ds.ground_truth(0, 5);
+        // Every v1 entity persists (growth-only evolution).
+        assert_eq!(gt.len(), ds.versions[0].entities.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_dbpedia(&DbpediaConfig::default());
+        let b = generate_dbpedia(&DbpediaConfig::default());
+        assert_eq!(
+            a.versions[5].graph.triple_count(),
+            b.versions[5].graph.triple_count()
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! EFO-like evolving ontology generator (§5.1 workload).
+//!
+//! The Experimental Factor Ontology is OWL rendered as RDF: classes with
+//! URI identifiers, annotation literals (label, definition, synonyms),
+//! `subClassOf` edges, and *restriction records* represented as blank
+//! nodes. The paper reports, for versions 2.34–2.44:
+//!
+//! * literals are > 75 % of nodes, URIs ≈ 10 %;
+//! * blank nodes fluctuate between 7–15 % due to duplicated *bisimilar*
+//!   blank records, while their normalised counts grow steadily;
+//! * the hybrid/overlap gains come from URI-prefix migrations (e.g.
+//!   `purl.org/obo/owl/` → `purl.obolibrary.org/obo/`), one large wave
+//!   around version 8, plus URIs that vanish and reappear migrated;
+//! * literals undergo small word-level edits between versions.
+//!
+//! The generator reproduces exactly these mechanisms from a seeded RNG,
+//! with persistent class ids as ground truth.
+
+use crate::dataset::{EvolvingDataset, VersionedGraph};
+use crate::words::{edit_label, make_label, typo};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::{FxHashMap, RdfGraphBuilder, Vocab};
+
+/// Configuration of the EFO-like generator.
+#[derive(Debug, Clone)]
+pub struct EfoConfig {
+    /// Classes in the first version.
+    pub classes: usize,
+    /// Number of versions to generate.
+    pub versions: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Old URI prefix.
+    pub old_prefix: String,
+    /// New URI prefix (migration target).
+    pub new_prefix: String,
+    /// Version (0-based) at which the large migration wave happens.
+    pub migration_version: usize,
+    /// Fraction of classes that migrate in the wave.
+    pub migration_fraction: f64,
+    /// Per-version probability that an axiom blank is duplicated
+    /// (cycled; drives the blank-count fluctuation of Fig 9).
+    pub duplication_schedule: Vec<f64>,
+    /// Probability a class's label/definition is edited per version.
+    pub edit_rate: f64,
+    /// Fraction of classes inserted per version.
+    pub insert_rate: f64,
+    /// Fraction of classes deleted per version.
+    pub delete_rate: f64,
+}
+
+impl Default for EfoConfig {
+    fn default() -> Self {
+        EfoConfig {
+            classes: 400,
+            versions: 10,
+            seed: 0xEF0,
+            old_prefix: "http://purl.org/obo/owl/EFO_".into(),
+            new_prefix: "http://purl.obolibrary.org/obo/EFO_".into(),
+            migration_version: 7,
+            migration_fraction: 0.3,
+            duplication_schedule: vec![
+                0.10, 0.22, 0.08, 0.18, 0.12, 0.25, 0.10, 0.15, 0.20, 0.12,
+            ],
+            edit_rate: 0.02,
+            insert_rate: 0.03,
+            delete_rate: 0.01,
+        }
+    }
+}
+
+impl EfoConfig {
+    /// Scale the class count (1.0 = default laptop size; ~75 ≈ paper
+    /// scale).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.classes = ((self.classes as f64) * factor).round() as usize;
+        self
+    }
+}
+
+/// An OWL-restriction record attached to a class.
+#[derive(Debug, Clone)]
+struct Axiom {
+    property: usize,
+    filler: usize,
+}
+
+/// Mutable per-class ontology state.
+#[derive(Debug, Clone)]
+struct ClassState {
+    id: usize,
+    label: String,
+    definition: String,
+    synonyms: Vec<String>,
+    parent: Option<usize>,
+    axiom: Option<Axiom>,
+    migrated: bool,
+    alive: bool,
+    /// Classes that vanish at the migration rehearsal and reappear
+    /// migrated two versions later (the paper's "URIs disappearing in
+    /// between").
+    vanish_window: Option<(usize, usize)>,
+}
+
+/// Generate an EFO-like evolving dataset.
+pub fn generate_efo(config: &EfoConfig) -> EvolvingDataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n_props = 12;
+    let mut classes: Vec<ClassState> = Vec::with_capacity(config.classes);
+    for id in 0..config.classes {
+        classes.push(new_class(&mut rng, id, config.classes));
+    }
+    // A small cohort vanishes at v2..v3 and reappears migrated at v4.
+    for c in classes.iter_mut() {
+        if c.id % 16 == 1 {
+            c.vanish_window = Some((2, 3));
+        }
+    }
+
+    let mut next_id = config.classes;
+    let mut vocab = Vocab::new();
+    let mut versions = Vec::with_capacity(config.versions);
+
+    for v in 0..config.versions {
+        // ---- evolve state (skip for the first version) ----
+        if v > 0 {
+            // Literal edits.
+            for c in classes.iter_mut().filter(|c| c.alive) {
+                if rng.gen_bool(config.edit_rate) {
+                    c.label = edit_label(&mut rng, &c.label);
+                }
+                if rng.gen_bool(config.edit_rate) {
+                    c.definition = edit_label(&mut rng, &c.definition);
+                }
+                if rng.gen_bool(config.edit_rate / 2.0) {
+                    c.label = typo(&mut rng, &c.label);
+                }
+                if rng.gen_bool(config.edit_rate)
+                    && !c.synonyms.is_empty()
+                {
+                    let i = rng.gen_range(0..c.synonyms.len());
+                    c.synonyms[i] = edit_label(&mut rng, &c.synonyms[i]);
+                }
+            }
+            // Deletions.
+            let alive_ids: Vec<usize> = classes
+                .iter()
+                .filter(|c| c.alive)
+                .map(|c| c.id)
+                .collect();
+            let n_del =
+                ((alive_ids.len() as f64) * config.delete_rate) as usize;
+            for _ in 0..n_del {
+                let id = alive_ids[rng.gen_range(0..alive_ids.len())];
+                classes[id].alive = false;
+            }
+            // Insertions.
+            let n_ins = ((alive_ids.len() as f64) * config.insert_rate)
+                .max(1.0) as usize;
+            for _ in 0..n_ins {
+                let c = new_class(&mut rng, next_id, next_id);
+                classes.push(c);
+                next_id += 1;
+            }
+            // Migration wave.
+            if v == config.migration_version {
+                for c in classes.iter_mut() {
+                    if !c.migrated
+                        && (c.id as f64 / next_id as f64)
+                            < config.migration_fraction
+                    {
+                        c.migrated = true;
+                    }
+                }
+            }
+        }
+
+        // ---- render this version ----
+        let dup_rate = config.duplication_schedule
+            [v % config.duplication_schedule.len()];
+        versions.push(render_version(
+            &classes, v, dup_rate, n_props, config, &mut rng, &mut vocab,
+        ));
+    }
+
+    EvolvingDataset { vocab, versions }
+}
+
+fn new_class(rng: &mut SmallRng, id: usize, parent_bound: usize) -> ClassState {
+    let n_syn = rng.gen_range(0..3);
+    ClassState {
+        id,
+        label: { let n = rng.gen_range(2..5); make_label(rng, n) },
+        definition: { let n = rng.gen_range(6..13); make_label(rng, n) },
+        synonyms: (0..n_syn)
+            .map(|_| { let n = rng.gen_range(2..4); make_label(rng, n) })
+            .collect(),
+        parent: if id == 0 || parent_bound == 0 {
+            None
+        } else {
+            Some(rng.gen_range(0..parent_bound.min(id).max(1)))
+        },
+        axiom: if rng.gen_bool(0.4) {
+            Some(Axiom {
+                property: rng.gen_range(0..12),
+                filler: rng.gen_range(0..parent_bound.max(1)),
+            })
+        } else {
+            None
+        },
+        migrated: false,
+        alive: true,
+        vanish_window: None,
+    }
+}
+
+fn render_version(
+    classes: &[ClassState],
+    version: usize,
+    dup_rate: f64,
+    n_props: usize,
+    config: &EfoConfig,
+    rng: &mut SmallRng,
+    vocab: &mut Vocab,
+) -> VersionedGraph {
+    let mut b = RdfGraphBuilder::new(vocab);
+    let mut entities = FxHashMap::default();
+
+    let uri_of = |c: &ClassState, version: usize| -> String {
+        let migrated = c.migrated
+            || c.vanish_window.map_or(false, |(_, hi)| {
+                version > hi // reappears migrated
+            }) && c.id % 16 == 1;
+        if migrated {
+            format!("{}{:07}", config.new_prefix, c.id)
+        } else {
+            format!("{}{:07}", config.old_prefix, c.id)
+        }
+    };
+    let visible = |c: &ClassState, version: usize| -> bool {
+        c.alive
+            && !c
+                .vanish_window
+                .map_or(false, |(lo, hi)| version >= lo && version <= hi)
+    };
+
+    for c in classes {
+        if !visible(c, version) {
+            continue;
+        }
+        let uri = uri_of(c, version);
+        let s = b.uri_node(&uri);
+        entities.insert(format!("class:{}", c.id), s);
+
+        b.uul(&uri, "http://www.w3.org/2000/01/rdf-schema#label", &c.label);
+        b.uul(&uri, "http://www.ebi.ac.uk/efo/definition", &c.definition);
+        for syn in &c.synonyms {
+            b.uul(&uri, "http://www.ebi.ac.uk/efo/alternative_term", syn);
+        }
+        if let Some(pid) = c.parent {
+            let p = &classes[pid];
+            if visible(p, version) {
+                b.uuu(
+                    &uri,
+                    "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                    &uri_of(p, version),
+                );
+            }
+        }
+        if let Some(ax) = &c.axiom {
+            let filler = &classes[ax.filler];
+            if visible(filler, version) {
+                let copies = if rng.gen_bool(dup_rate) { 2 } else { 1 };
+                for copy in 0..copies {
+                    let bn = format!("ax{}_{}", c.id, copy);
+                    b.uub(
+                        &uri,
+                        "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+                        &bn,
+                    );
+                    b.buu(
+                        &bn,
+                        "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                        "http://www.w3.org/2002/07/owl#Restriction",
+                    );
+                    b.buu(
+                        &bn,
+                        "http://www.w3.org/2002/07/owl#onProperty",
+                        &format!(
+                            "http://www.ebi.ac.uk/efo/prop{}",
+                            ax.property % n_props
+                        ),
+                    );
+                    b.buu(
+                        &bn,
+                        "http://www.w3.org/2002/07/owl#someValuesFrom",
+                        &uri_of(filler, version),
+                    );
+                    if copy == 0 {
+                        let node = b.blank_node(&bn);
+                        entities.insert(format!("axiom:{}", c.id), node);
+                    }
+                }
+            }
+        }
+    }
+
+    VersionedGraph {
+        graph: b.finish(),
+        entities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EvolvingDataset {
+        generate_efo(&EfoConfig {
+            classes: 120,
+            versions: 10,
+            ..EfoConfig::default()
+        })
+    }
+
+    #[test]
+    fn version_count_and_determinism() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.len(), 10);
+        for (va, vb) in a.versions.iter().zip(&b.versions) {
+            assert_eq!(va.graph.triple_count(), vb.graph.triple_count());
+        }
+    }
+
+    #[test]
+    fn node_kind_proportions_match_paper() {
+        let ds = small();
+        for v in &ds.versions {
+            let s = v.stats();
+            assert!(
+                s.literal_fraction() > 0.55,
+                "literal fraction {}",
+                s.literal_fraction()
+            );
+            assert!(s.blank_fraction() < 0.25, "{}", s.blank_fraction());
+            assert!(s.blanks > 0, "some blanks required");
+        }
+    }
+
+    #[test]
+    fn blank_counts_fluctuate() {
+        let ds = small();
+        let blanks: Vec<usize> = ds.versions.iter().map(|v| v.stats().blanks).collect();
+        let min = blanks.iter().min().unwrap();
+        let max = blanks.iter().max().unwrap();
+        assert!(max > min, "duplication schedule must move blank counts");
+    }
+
+    #[test]
+    fn ground_truth_shrinks_with_distance() {
+        let ds = small();
+        let near = ds.ground_truth(0, 1).len();
+        let far = ds.ground_truth(0, 9).len();
+        assert!(near >= far, "near {near} far {far}");
+        assert!(far > 0);
+    }
+
+    #[test]
+    fn migration_changes_uris_but_keeps_entities() {
+        let ds = small();
+        let cfg = EfoConfig::default();
+        let before = &ds.versions[cfg.migration_version - 1];
+        let after = &ds.versions[cfg.migration_version];
+        // Some class that migrated: its key is in both, but the URI text
+        // changed prefix.
+        let mut migrated = 0;
+        for (k, &n_before) in &before.entities {
+            if !k.starts_with("class:") {
+                continue;
+            }
+            if let Some(&n_after) = after.entities.get(k) {
+                let u_before = ds
+                    .vocab
+                    .text(before.graph.graph().label(n_before))
+                    .to_string();
+                let u_after =
+                    ds.vocab.text(after.graph.graph().label(n_after));
+                if u_before != u_after {
+                    migrated += 1;
+                    assert!(u_before.starts_with(&cfg.old_prefix));
+                    assert!(u_after.starts_with(&cfg.new_prefix));
+                }
+            }
+        }
+        assert!(migrated > 0, "the migration wave must rename URIs");
+    }
+
+    #[test]
+    fn vanish_and_reappear_cohort() {
+        let ds = small();
+        // Cohort classes (id % 16 == 1) are absent in versions 2-3 and
+        // back (migrated) from version 4.
+        let k = "class:1";
+        assert!(ds.versions[0].entities.contains_key(k));
+        assert!(!ds.versions[2].entities.contains_key(k));
+        assert!(!ds.versions[3].entities.contains_key(k));
+        assert!(ds.versions[4].entities.contains_key(k));
+    }
+
+    #[test]
+    fn scaled_config() {
+        let c = EfoConfig::default().scaled(0.5);
+        assert_eq!(c.classes, 200);
+    }
+}

@@ -1,0 +1,490 @@
+//! GtoPdb-like evolving relational database, exported to RDF per version
+//! (§5.2 workload).
+//!
+//! A pharmacology-flavoured schema (families, targets, ligands,
+//! interactions, references) is populated and evolved over versions:
+//! mostly insertions (with a large burst between versions 3 and 4, as the
+//! paper observes), some attribute updates, few cascading deletions, and
+//! *no key changes* (GtoPdb keys are persistent). Each version is
+//! exported through the W3C Direct Mapping under a per-version URI
+//! prefix, so no URIs are shared across versions — the setting that
+//! makes Trivial and Deblank align nothing and isolates Hybrid/Overlap.
+
+use crate::dataset::{EvolvingDataset, VersionedGraph};
+use crate::words::{edit_label, make_label};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::Vocab;
+use rdf_relational::{
+    direct_mapping, ColumnType, Database, DeleteMode, MappingOptions,
+    SchemaBuilder, TableBuilder, Value,
+};
+
+/// Configuration of the GtoPdb-like generator.
+#[derive(Debug, Clone)]
+pub struct GtopdbConfig {
+    /// Ligands in version 1 (other tables scale from this).
+    pub ligands: usize,
+    /// Number of versions.
+    pub versions: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Per-transition growth factors (len ≥ versions − 1); index `i` is
+    /// the growth from version `i` to `i+1`. The default has the large
+    /// v3→v4 burst and the minute v7→v8 change reported by the paper.
+    pub growth: Vec<f64>,
+    /// Fraction of rows whose text attributes are edited per transition.
+    pub update_rate: f64,
+    /// Fraction of ligands deleted (cascading) per transition.
+    pub delete_rate: f64,
+    /// Probability that an inserted ligand clones the attribute profile
+    /// of a just-deleted row (new key, new-ish name, same values). These
+    /// clones are what the paper observes as false matches: inserted
+    /// nodes whose outbound neighbourhood consists mostly of
+    /// previously-existing values (§5.2).
+    pub clone_deleted_rate: f64,
+    /// URI prefix template; `{}` is replaced by the 1-based version.
+    pub prefix_template: String,
+}
+
+impl Default for GtopdbConfig {
+    fn default() -> Self {
+        GtopdbConfig {
+            ligands: 120,
+            versions: 10,
+            seed: 0x670,
+            growth: vec![1.06, 1.05, 1.35, 1.05, 1.08, 1.04, 1.005, 1.05, 1.06],
+            update_rate: 0.03,
+            delete_rate: 0.015,
+            clone_deleted_rate: 0.7,
+            prefix_template: "http://gtopdb.org/ver{}/".into(),
+        }
+    }
+}
+
+impl GtopdbConfig {
+    /// Scale the base ligand count.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.ligands = ((self.ligands as f64) * factor).round() as usize;
+        self
+    }
+}
+
+/// Build the pharmacology schema.
+pub fn gtopdb_schema() -> rdf_relational::Schema {
+    SchemaBuilder::new()
+        .table(
+            TableBuilder::new("family")
+                .column("family_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key(&["family_id"]),
+        )
+        .table(
+            TableBuilder::new("target")
+                .column("target_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("abbreviation", ColumnType::Text)
+                .column("species", ColumnType::Text)
+                .column("family_id", ColumnType::Int)
+                .primary_key(&["target_id"])
+                .foreign_key(&["family_id"], "family"),
+        )
+        .table(
+            TableBuilder::new("ligand")
+                .column("ligand_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("type", ColumnType::Text)
+                .nullable("species", ColumnType::Text)
+                .nullable("comment", ColumnType::Text)
+                .column("approved", ColumnType::Text)
+                .primary_key(&["ligand_id"]),
+        )
+        .table(
+            TableBuilder::new("interaction")
+                .column("interaction_id", ColumnType::Int)
+                .column("ligand_id", ColumnType::Int)
+                .column("target_id", ColumnType::Int)
+                .column("action", ColumnType::Text)
+                .nullable("affinity", ColumnType::Float)
+                .primary_key(&["interaction_id"])
+                .foreign_key(&["ligand_id"], "ligand")
+                .foreign_key(&["target_id"], "target"),
+        )
+        .table(
+            TableBuilder::new("reference")
+                .column("reference_id", ColumnType::Int)
+                .column("title", ColumnType::Text)
+                .column("year", ColumnType::Int)
+                .column("journal", ColumnType::Text)
+                .primary_key(&["reference_id"]),
+        )
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Id counters for persistent keys.
+struct Counters {
+    family: i64,
+    target: i64,
+    ligand: i64,
+    interaction: i64,
+    reference: i64,
+}
+
+/// Generate the GtoPdb-like evolving dataset.
+pub fn generate_gtopdb(config: &GtopdbConfig) -> EvolvingDataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut db = Database::new(gtopdb_schema());
+    let mut counters = Counters {
+        family: 0,
+        target: 0,
+        ligand: 0,
+        interaction: 0,
+        reference: 0,
+    };
+
+    // Version 1 population.
+    let n_fam = (config.ligands / 12).max(2);
+    let n_tgt = (config.ligands * 6 / 10).max(3);
+    for _ in 0..n_fam {
+        insert_family(&mut db, &mut counters, &mut rng);
+    }
+    for _ in 0..n_tgt {
+        insert_target(&mut db, &mut counters, &mut rng);
+    }
+    for _ in 0..config.ligands {
+        insert_ligand(&mut db, &mut counters, &mut rng);
+    }
+    for _ in 0..(config.ligands * 3 / 2) {
+        insert_interaction(&mut db, &mut counters, &mut rng);
+    }
+    for _ in 0..(config.ligands * 8 / 10) {
+        insert_reference(&mut db, &mut counters, &mut rng);
+    }
+
+    let mut vocab = Vocab::new();
+    let mut versions: Vec<VersionedGraph> = Vec::new();
+    for v in 0..config.versions {
+        if v > 0 {
+            evolve(&mut db, &mut counters, &mut rng, config, v - 1);
+        }
+        let prefix = config.prefix_template.replace("{}", &(v + 1).to_string());
+        // §5.2 states the export shares *no* URIs between versions, so
+        // rdf:type triples (whose predicate is fixed vocabulary) are
+        // disabled; entity URIs, attribute URIs and class URIs all carry
+        // the per-version prefix.
+        let mut options = MappingOptions::new(prefix);
+        options.type_triples = false;
+        let export = direct_mapping(&db, &options, &mut vocab);
+        versions.push(VersionedGraph {
+            graph: export.graph,
+            entities: export.entities,
+        });
+    }
+
+    EvolvingDataset { vocab, versions }
+}
+
+fn insert_family(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
+    c.family += 1;
+    db.insert(
+        "family",
+        vec![c.family.into(), make_label(rng, 3).into()],
+    )
+    .expect("family insert");
+}
+
+fn insert_target(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
+    c.target += 1;
+    let fam = rng.gen_range(1..=c.family);
+    db.insert(
+        "target",
+        vec![
+            c.target.into(),
+            make_label(rng, 4).into(),
+            make_label(rng, 1).into(),
+            ["Human", "Mouse", "Rat"][rng.gen_range(0..3)].into(),
+            fam.into(),
+        ],
+    )
+    .expect("target insert");
+}
+
+fn insert_ligand(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
+    c.ligand += 1;
+    let species: Value = if rng.gen_bool(0.7) {
+        ["Human", "Mouse", "Rat"][rng.gen_range(0..3)].into()
+    } else {
+        Value::Null
+    };
+    let comment: Value = if rng.gen_bool(0.5) {
+        { let n = rng.gen_range(5..12); make_label(rng, n) }.into()
+    } else {
+        Value::Null
+    };
+    db.insert(
+        "ligand",
+        vec![
+            c.ligand.into(),
+            { let n = rng.gen_range(2..4); make_label(rng, n) }.into(),
+            ["peptide", "small molecule", "antibody", "protein"]
+                [rng.gen_range(0..4)]
+            .into(),
+            species,
+            comment,
+            if rng.gen_bool(0.3) { "yes" } else { "no" }.into(),
+        ],
+    )
+    .expect("ligand insert");
+}
+
+/// Insert a ligand that clones a deleted row's attribute profile: new
+/// persistent key, lightly-edited name, identical remaining values.
+fn insert_ligand_clone(
+    db: &mut Database,
+    c: &mut Counters,
+    rng: &mut SmallRng,
+    profile: &[Value],
+) {
+    c.ligand += 1;
+    let name = edit_label(rng, &profile[1].lexical());
+    db.insert(
+        "ligand",
+        vec![
+            c.ligand.into(),
+            name.into(),
+            profile[2].clone(),
+            profile[3].clone(),
+            profile[4].clone(),
+            profile[5].clone(),
+        ],
+    )
+    .expect("ligand clone insert");
+}
+
+fn insert_interaction(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
+    c.interaction += 1;
+    // Reference live rows (deletion leaves key gaps, so sample keys).
+    let lig = sample_key(db, "ligand", rng);
+    let tgt = sample_key(db, "target", rng);
+    let affinity: Value = if rng.gen_bool(0.8) {
+        (rng.gen_range(4.0..11.0) as f64).into()
+    } else {
+        Value::Null
+    };
+    db.insert(
+        "interaction",
+        vec![
+            c.interaction.into(),
+            lig.into(),
+            tgt.into(),
+            ["agonist", "antagonist", "inhibitor", "activator"]
+                [rng.gen_range(0..4)]
+            .into(),
+            affinity,
+        ],
+    )
+    .expect("interaction insert");
+}
+
+fn insert_reference(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
+    c.reference += 1;
+    db.insert(
+        "reference",
+        vec![
+            c.reference.into(),
+            { let n = rng.gen_range(5..10); make_label(rng, n) }.into(),
+            rng.gen_range(1990..2016i64).into(),
+            make_label(rng, 2).into(),
+        ],
+    )
+    .expect("reference insert");
+}
+
+fn sample_key(db: &Database, table: &str, rng: &mut SmallRng) -> i64 {
+    let keys = db.keys(table);
+    let k = &keys[rng.gen_range(0..keys.len())];
+    k.parse().expect("integer key")
+}
+
+/// Apply one version transition to the database.
+fn evolve(
+    db: &mut Database,
+    counters: &mut Counters,
+    rng: &mut SmallRng,
+    config: &GtopdbConfig,
+    transition: usize,
+) {
+    let growth = config
+        .growth
+        .get(transition)
+        .copied()
+        .unwrap_or(1.05);
+    // The insertion burst comes with extra churn (the paper's pair 3-4
+    // combines the largest insertion wave with its worst precision).
+    let delete_rate = if growth > 1.2 {
+        config.delete_rate * 3.0
+    } else {
+        config.delete_rate
+    };
+
+    // Deletions first (cascade through interactions), keeping the
+    // deleted attribute profiles for cloning into insertions.
+    let keys = db.keys("ligand");
+    let n_del = ((keys.len() as f64) * delete_rate).ceil() as usize;
+    let mut deleted_profiles: Vec<Vec<Value>> = Vec::new();
+    for _ in 0..n_del {
+        let keys = db.keys("ligand");
+        let k = &keys[rng.gen_range(0..keys.len())];
+        deleted_profiles.push(db.get("ligand", k).expect("row").clone());
+        db.delete("ligand", k, DeleteMode::Cascade).expect("delete");
+    }
+
+    // Attribute updates (names, comments) — no key changes.
+    for table in ["ligand", "target", "reference"] {
+        let keys = db.keys(table);
+        let n_upd = ((keys.len() as f64) * config.update_rate).ceil() as usize;
+        for _ in 0..n_upd {
+            let k = &keys[rng.gen_range(0..keys.len())];
+            let (col, val): (&str, Value) = match table {
+                "ligand" => {
+                    if rng.gen_bool(0.5) {
+                        let old = db.get("ligand", k).unwrap()[1].lexical();
+                        ("name", edit_label(rng, &old).into())
+                    } else {
+                        ("comment", { let n = rng.gen_range(5..12); make_label(rng, n) }.into())
+                    }
+                }
+                "target" => {
+                    let old = db.get("target", k).unwrap()[1].lexical();
+                    ("name", edit_label(rng, &old).into())
+                }
+                _ => {
+                    let old = db.get("reference", k).unwrap()[1].lexical();
+                    ("title", edit_label(rng, &old).into())
+                }
+            };
+            db.update(table, k, col, val).expect("update");
+        }
+    }
+
+    // Insertions to reach the growth factor; some clone the profile of
+    // a deleted row (fresh key, edited name, same attribute values).
+    let target_ligands =
+        ((db.row_count("ligand") as f64) * growth).round() as usize;
+    while db.row_count("ligand") < target_ligands {
+        if rng.gen_bool(0.08) {
+            insert_family(db, counters, rng);
+        }
+        if rng.gen_bool(0.5) {
+            insert_target(db, counters, rng);
+        }
+        if !deleted_profiles.is_empty()
+            && rng.gen_bool(config.clone_deleted_rate)
+        {
+            let profile =
+                &deleted_profiles[rng.gen_range(0..deleted_profiles.len())];
+            insert_ligand_clone(db, counters, rng, profile);
+        } else {
+            insert_ligand(db, counters, rng);
+        }
+        insert_interaction(db, counters, rng);
+        if rng.gen_bool(0.6) {
+            insert_interaction(db, counters, rng);
+        }
+        if rng.gen_bool(0.7) {
+            insert_reference(db, counters, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EvolvingDataset {
+        generate_gtopdb(&GtopdbConfig {
+            ligands: 60,
+            versions: 10,
+            ..GtopdbConfig::default()
+        })
+    }
+
+    #[test]
+    fn versions_grow_with_burst() {
+        let ds = small();
+        assert_eq!(ds.len(), 10);
+        let sizes: Vec<usize> =
+            ds.versions.iter().map(|v| v.stats().edges).collect();
+        // Monotone-ish growth.
+        assert!(sizes[9] > sizes[0]);
+        // The v3→v4 burst (index 2→3) is the largest relative jump.
+        let jumps: Vec<f64> = sizes
+            .windows(2)
+            .map(|w| w[1] as f64 / w[0] as f64)
+            .collect();
+        let max_jump = jumps
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        assert!((jumps[2] - max_jump).abs() < 1e-9, "jumps {jumps:?}");
+    }
+
+    #[test]
+    fn no_blanks_and_no_shared_uris() {
+        let ds = small();
+        for v in &ds.versions {
+            assert_eq!(v.stats().blanks, 0);
+        }
+        // URIs of different versions never coincide (distinct prefixes).
+        let g0 = &ds.versions[0];
+        let g1 = &ds.versions[1];
+        let uris0: std::collections::HashSet<&str> = g0
+            .graph
+            .graph()
+            .uris()
+            .into_iter()
+            .map(|n| ds.vocab.text(g0.graph.graph().label(n)))
+            .collect();
+        for n in g1.graph.graph().uris() {
+            let u = ds.vocab.text(g1.graph.graph().label(n));
+            assert!(!uris0.contains(u), "shared URI {u}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_covers_most_uris() {
+        let ds = small();
+        let gt = ds.ground_truth(0, 1);
+        let uris = ds.versions[0].graph.graph().uris().len();
+        // Most v1 URIs persist into v2.
+        assert!(gt.len() * 10 >= uris * 8, "gt {} uris {}", gt.len(), uris);
+    }
+
+    #[test]
+    fn keys_are_persistent() {
+        let ds = small();
+        // Spot-check: ligand 1 in v1 and v5 (if alive) have entity keys.
+        for v in &ds.versions {
+            for k in v.entities.keys().take(5) {
+                assert!(
+                    k.starts_with("row:")
+                        || k.starts_with("table:")
+                        || k.starts_with("attr:")
+                        || k.starts_with("ref:")
+                        || k.starts_with("uri:"),
+                    "unexpected key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        for (va, vb) in a.versions.iter().zip(&b.versions) {
+            assert_eq!(va.graph.triple_count(), vb.graph.triple_count());
+        }
+    }
+}

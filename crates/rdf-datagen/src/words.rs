@@ -1,0 +1,155 @@
+//! Deterministic word pools for synthetic labels.
+//!
+//! Labels must look like curated-ontology text (multi-word names,
+//! definitions) because the overlap heuristic characterises literals by
+//! their word sets; single-token labels would make the literal round of
+//! Algorithm 2 vacuous.
+
+use rand::Rng;
+
+/// Domain-flavoured word pool (EFO/GtoPdb-ish vocabulary).
+pub const WORDS: &[&str] = &[
+    "receptor", "ligand", "protein", "kinase", "channel", "factor",
+    "experimental", "ontology", "cell", "tissue", "disease", "assay",
+    "binding", "agonist", "antagonist", "inhibitor", "activator", "enzyme",
+    "membrane", "nuclear", "cytoplasmic", "transport", "signal", "pathway",
+    "expression", "regulation", "transcription", "translation", "peptide",
+    "hormone", "antibody", "antigen", "epithelial", "neural", "cardiac",
+    "hepatic", "renal", "pulmonary", "vascular", "immune", "metabolic",
+    "genetic", "molecular", "cellular", "clinical", "therapeutic", "adverse",
+    "response", "sample", "variable", "line", "organism", "human", "mouse",
+    "rat", "zebrafish", "culture", "growth", "differentiation", "apoptosis",
+    "proliferation", "adhesion", "migration", "morphology", "phenotype",
+    "genotype", "allele", "variant", "mutation", "polymorphism", "marker",
+    "probe", "vector", "plasmid", "construct", "domain", "motif", "residue",
+    "subunit", "complex", "dimer", "monomer", "isoform", "homolog",
+    "ortholog", "paralog", "family", "superfamily", "class", "subclass",
+    "type", "group", "region", "site", "locus", "sequence", "structure",
+    "function", "activity", "affinity", "potency", "efficacy", "selectivity",
+];
+
+/// Pick `n` words from the pool to form a label.
+pub fn make_label(rng: &mut impl Rng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// Word-level edit of a label: replace, insert or delete one word
+/// (mirrors the literal edits the paper observes between versions).
+pub fn edit_label(rng: &mut impl Rng, label: &str) -> String {
+    let mut words: Vec<&str> = label.split(' ').collect();
+    if words.is_empty() {
+        return WORDS[rng.gen_range(0..WORDS.len())].to_string();
+    }
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Replace one word.
+            let i = rng.gen_range(0..words.len());
+            words[i] = WORDS[rng.gen_range(0..WORDS.len())];
+        }
+        1 => {
+            // Insert a word.
+            let i = rng.gen_range(0..=words.len());
+            words.insert(i, WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        _ => {
+            // Delete a word (unless that would empty the label).
+            if words.len() > 1 {
+                let i = rng.gen_range(0..words.len());
+                words.remove(i);
+            } else {
+                words[0] = WORDS[rng.gen_range(0..WORDS.len())];
+            }
+        }
+    }
+    words.join(" ")
+}
+
+/// Character-level typo: swap, duplicate or drop one character.
+pub fn typo(rng: &mut impl Rng, label: &str) -> String {
+    let chars: Vec<char> = label.chars().collect();
+    if chars.len() < 2 {
+        return format!("{label}x");
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => out.swap(i, i + 1),
+        1 => out.insert(i, chars[i]),
+        _ => {
+            out.remove(i);
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_have_requested_word_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in 1..6 {
+            let l = make_label(&mut rng, n);
+            assert_eq!(l.split(' ').count(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = make_label(&mut SmallRng::seed_from_u64(7), 4);
+        let b = make_label(&mut SmallRng::seed_from_u64(7), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edit_changes_at_most_one_word() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let l = make_label(&mut rng, 5);
+            let e = edit_label(&mut rng, &l);
+            let n1 = l.split(' ').count() as i64;
+            let n2 = e.split(' ').count() as i64;
+            assert!((n1 - n2).abs() <= 1, "{l} -> {e}");
+            assert!(!e.is_empty());
+        }
+    }
+
+    #[test]
+    fn typo_close_in_edit_distance() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let l = make_label(&mut rng, 3);
+            let t = typo(&mut rng, &l);
+            let d = rdf_edit_distance_check(&l, &t);
+            assert!(d <= 2, "{l} -> {t} distance {d}");
+        }
+    }
+
+    // A tiny local Levenshtein to avoid a dev-dependency cycle.
+    fn rdf_edit_distance_check(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, ca) in a.iter().enumerate() {
+            let mut curr = vec![i + 1];
+            for (j, cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                curr.push(
+                    (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1),
+                );
+            }
+            prev = curr;
+        }
+        prev[b.len()]
+    }
+}

@@ -1,0 +1,243 @@
+//! The Hungarian algorithm (Kuhn–Munkres) for minimum-cost assignment.
+//!
+//! §4.2 uses an optimal matching among the outgoing edges of two nodes to
+//! propagate `σ_Edit`; the paper cites Kuhn's method [9]. We implement the
+//! O(n³) shortest-augmenting-path formulation with dual potentials
+//! (Jonker–Volgenant style) on rectangular matrices: rows are assigned to
+//! a subset of columns minimising total cost.
+
+/// Result of a rectangular assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[r]` is the column assigned to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the assignment.
+    pub cost: f64,
+}
+
+/// Minimum-cost assignment of `rows × cols` with `rows ≤ cols`.
+///
+/// `cost[r][c]` must be finite. Returns the optimal assignment of every
+/// row to a distinct column. Panics if `rows > cols` (transpose first) or
+/// on ragged input.
+pub fn hungarian(cost: &[Vec<f64>]) -> Assignment {
+    let n = cost.len();
+    if n == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            cost: 0.0,
+        };
+    }
+    let m = cost[0].len();
+    assert!(
+        n <= m,
+        "hungarian: rows ({n}) must not exceed columns ({m}); transpose"
+    );
+    assert!(
+        cost.iter().all(|r| r.len() == m),
+        "hungarian: ragged cost matrix"
+    );
+
+    const INF: f64 = f64::INFINITY;
+    // 1-based arrays per the classic formulation; index 0 is a sentinel.
+    let mut u = vec![0.0f64; n + 1]; // row potentials
+    let mut v = vec![0.0f64; m + 1]; // column potentials
+    let mut way = vec![0usize; m + 1]; // predecessor column on aug. path
+    let mut col_to_row = vec![0usize; m + 1]; // 0 = unassigned
+
+    for i in 1..=n {
+        // Find an augmenting path from row i.
+        col_to_row[0] = i;
+        let mut j0 = 0usize; // current column (sentinel start)
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = col_to_row[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[col_to_row[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if col_to_row[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        while j0 != 0 {
+            let j1 = way[j0];
+            col_to_row[j0] = col_to_row[j1];
+            j0 = j1;
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=m {
+        if col_to_row[j] != 0 {
+            row_to_col[col_to_row[j] - 1] = j - 1;
+        }
+    }
+    let total = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    Assignment {
+        row_to_col,
+        cost: total,
+    }
+}
+
+/// Minimum-cost assignment for any shape: transposes internally when
+/// `rows > cols` and reports the matching as `(row, col)` pairs.
+pub fn hungarian_rect(cost: &[Vec<f64>]) -> (Vec<(usize, usize)>, f64) {
+    let n = cost.len();
+    if n == 0 || cost[0].is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let m = cost[0].len();
+    if n <= m {
+        let a = hungarian(cost);
+        (
+            a.row_to_col.iter().enumerate().map(|(r, &c)| (r, c)).collect(),
+            a.cost,
+        )
+    } else {
+        let t: Vec<Vec<f64>> = (0..m)
+            .map(|c| (0..n).map(|r| cost[r][c]).collect())
+            .collect();
+        let a = hungarian(&t);
+        (
+            a.row_to_col.iter().enumerate().map(|(c, &r)| (r, c)).collect(),
+            a.cost,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        // Try all injections rows -> cols.
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, &mut |perm| {
+            let c: f64 = (0..n).map(|r| cost[r][perm[r]]).sum();
+            if c < best {
+                best = c;
+            }
+        });
+        best
+    }
+
+    fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == v.len() {
+            f(v);
+            return;
+        }
+        for i in k..v.len() {
+            v.swap(k, i);
+            permute(v, k + 1, f);
+            v.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn square_known() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian(&cost);
+        assert!((a.cost - 5.0).abs() < 1e-9);
+        // Assignment must be a permutation.
+        let mut seen = vec![false; 3];
+        for &c in &a.row_to_col {
+            assert!(!seen[c]);
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn rectangular_rows_less_than_cols() {
+        let cost = vec![vec![10.0, 1.0, 2.0], vec![1.0, 10.0, 3.0]];
+        let a = hungarian(&cost);
+        assert!((a.cost - 2.0).abs() < 1e-9);
+        assert_eq!(a.row_to_col, vec![1, 0]);
+    }
+
+    #[test]
+    fn rect_transposed() {
+        let cost = vec![vec![10.0, 1.0], vec![1.0, 10.0], vec![2.0, 3.0]];
+        let (pairs, c) = hungarian_rect(&cost);
+        assert_eq!(pairs.len(), 2);
+        assert!((c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_empty() {
+        let (pairs, c) = hungarian_rect(&[]);
+        assert!(pairs.is_empty());
+        assert_eq!(c, 0.0);
+        let a = hungarian(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        assert_eq!(a.cost, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_exhaustively() {
+        // Deterministic pseudo-random matrices vs brute force.
+        let mut seed = 0x12345u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 100.0
+        };
+        for n in 1..=4usize {
+            for m in n..=5usize {
+                for _ in 0..20 {
+                    let cost: Vec<Vec<f64>> =
+                        (0..n).map(|_| (0..m).map(|_| rng()).collect()).collect();
+                    let a = hungarian(&cost);
+                    let bf = brute_force(&cost);
+                    assert!(
+                        (a.cost - bf).abs() < 1e-9,
+                        "n={n} m={m}: got {} want {bf} for {cost:?}",
+                        a.cost
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        let cost = vec![vec![-1.0, 2.0], vec![3.0, -4.0]];
+        let a = hungarian(&cost);
+        assert!((a.cost - (-5.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,518 @@
+//! N-Triples 1.1 parser and serializer, written from scratch.
+//!
+//! Supports the grammar subset needed for evolving-RDF datasets:
+//! IRIs (`<...>` with `\u`/`\U` escapes), blank node labels (`_:name`),
+//! and literals (`"..."` with string escapes, optional `@lang` tag or
+//! `^^<datatype>` suffix). Datatype and language tag are folded into the
+//! literal's label text, matching the paper's model where a literal is
+//! one opaque value.
+//!
+//! The parser is line-oriented and reports errors with line/column
+//! positions; the serializer round-trips every graph the parser accepts.
+
+use rdf_model::{RdfGraph, RdfGraphBuilder, Term, Vocab};
+use std::fmt;
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A single parsed line: subject, predicate, object terms.
+type ParsedTriple = (Term, Term, Term);
+
+struct Cursor<'a> {
+    text: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        Cursor {
+            text: text.as_bytes(),
+            pos: 0,
+            line,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            column: self.pos + 1,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(self.error(format!(
+                "expected '{}', found '{}'",
+                b as char, got as char
+            ))),
+            None => Err(self.error(format!(
+                "expected '{}', found end of line",
+                b as char
+            ))),
+        }
+    }
+
+    fn at_end_or_comment(&mut self) -> bool {
+        self.skip_ws();
+        matches!(self.peek(), None | Some(b'#'))
+    }
+
+    /// Parse `<IRI>` (after the opening `<` has been peeked).
+    fn iri(&mut self) -> Result<String, ParseError> {
+        self.expect(b'<')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'>') => return Ok(out),
+                Some(b'\\') => {
+                    let esc = self.unicode_escape()?;
+                    out.push(esc);
+                }
+                Some(b) if b > 0x20 && b != b'"' && b != b'{' && b != b'}' => {
+                    // Collect UTF-8 continuation bytes verbatim.
+                    out.push(self.decode_utf8_tail(b)?);
+                }
+                Some(b) => {
+                    return Err(
+                        self.error(format!("invalid IRI character 0x{b:02x}"))
+                    )
+                }
+                None => return Err(self.error("unterminated IRI")),
+            }
+        }
+    }
+
+    /// Decode one UTF-8 scalar whose first byte is `first`.
+    fn decode_utf8_tail(&mut self, first: u8) -> Result<char, ParseError> {
+        let len = match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            0xf0..=0xf7 => 4,
+            _ => return Err(self.error("invalid UTF-8 byte")),
+        };
+        let start = self.pos - 1;
+        for _ in 1..len {
+            self.bump()
+                .ok_or_else(|| self.error("truncated UTF-8 sequence"))?;
+        }
+        let s = std::str::from_utf8(&self.text[start..self.pos])
+            .map_err(|_| self.error("invalid UTF-8 sequence"))?;
+        Ok(s.chars().next().unwrap())
+    }
+
+    /// Parse `\uXXXX` or `\UXXXXXXXX` (backslash already consumed).
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let kind = self
+            .bump()
+            .ok_or_else(|| self.error("truncated escape"))?;
+        let len = match kind {
+            b'u' => 4,
+            b'U' => 8,
+            other => {
+                return Err(self.error(format!(
+                    "invalid IRI escape '\\{}'",
+                    other as char
+                )))
+            }
+        };
+        self.hex_char(len)
+    }
+
+    fn hex_char(&mut self, len: usize) -> Result<char, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..len {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("truncated escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or_else(|| self.error("invalid code point"))
+    }
+
+    /// Parse `_:label`.
+    fn blank(&mut self) -> Result<String, ParseError> {
+        self.expect(b'_')?;
+        self.expect(b':')?;
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'
+            {
+                out.push(b as char);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        // A trailing '.' belongs to the statement terminator.
+        while out.ends_with('.') {
+            out.pop();
+            self.pos -= 1;
+        }
+        if out.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(out)
+    }
+
+    /// Parse a quoted literal with optional `@lang` / `^^<dt>` suffix.
+    /// The suffix is folded into the returned label text.
+    fn literal(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let b = self
+                        .bump()
+                        .ok_or_else(|| self.error("truncated escape"))?;
+                    match b {
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b'f' => out.push('\u{c}'),
+                        b'"' => out.push('"'),
+                        b'\'' => out.push('\''),
+                        b'\\' => out.push('\\'),
+                        b'u' => out.push(self.hex_char(4)?),
+                        b'U' => out.push(self.hex_char(8)?),
+                        other => {
+                            return Err(self.error(format!(
+                                "invalid string escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(b) => out.push(self.decode_utf8_tail(b)?),
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        // Optional language tag or datatype.
+        match self.peek() {
+            Some(b'@') => {
+                self.pos += 1;
+                let mut tag = String::new();
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'-' {
+                        tag.push(b as char);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if tag.is_empty() {
+                    return Err(self.error("empty language tag"));
+                }
+                out.push('@');
+                out.push_str(&tag);
+            }
+            Some(b'^') => {
+                self.expect(b'^')?;
+                self.expect(b'^')?;
+                let dt = self.iri()?;
+                out.push_str("^^");
+                out.push_str(&dt);
+            }
+            _ => {}
+        }
+        Ok(out)
+    }
+
+    /// Parse a subject/predicate/object term.
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => Ok(Term::Uri(self.iri()?)),
+            Some(b'_') => Ok(Term::Blank(self.blank()?)),
+            Some(b'"') => Ok(Term::Literal(self.literal()?)),
+            Some(b) => Err(self.error(format!(
+                "expected term, found '{}'",
+                b as char
+            ))),
+            None => Err(self.error("expected term, found end of line")),
+        }
+    }
+
+    fn triple(&mut self) -> Result<ParsedTriple, ParseError> {
+        let s = self.term()?;
+        let p = self.term()?;
+        let o = self.term()?;
+        self.skip_ws();
+        self.expect(b'.')?;
+        if !self.at_end_or_comment() {
+            return Err(self.error("trailing content after '.'"));
+        }
+        Ok((s, p, o))
+    }
+}
+
+/// Parse an N-Triples document into terms.
+pub fn parse_triples(input: &str) -> Result<Vec<ParsedTriple>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let mut cur = Cursor::new(line, i + 1);
+        if cur.at_end_or_comment() {
+            continue;
+        }
+        out.push(cur.triple()?);
+    }
+    Ok(out)
+}
+
+/// Parse an N-Triples document directly into an [`RdfGraph`], interning
+/// into the supplied vocabulary.
+pub fn parse_graph(
+    input: &str,
+    vocab: &mut Vocab,
+) -> Result<RdfGraph, ParseError> {
+    let triples = parse_triples(input)?;
+    let mut b = RdfGraphBuilder::new(vocab);
+    for (i, (s, p, o)) in triples.iter().enumerate() {
+        b.add_triple(s, p, o).map_err(|e| ParseError {
+            line: i + 1,
+            column: 1,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(b.finish())
+}
+
+/// Escape a string for inclusion in an IRI or literal.
+fn escape_into(out: &mut String, s: &str, iri: bool) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' if !iri => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if iri && (c <= ' ' || c == '<' || c == '>' || c == '"') => {
+                out.push_str(&format!("\\u{:04X}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize a graph to N-Triples. Blank nodes use their recorded local
+/// names when available, otherwise `_:bN` from the node id.
+pub fn write_graph(graph: &RdfGraph, vocab: &Vocab) -> String {
+    let g = graph.graph();
+    let mut out = String::with_capacity(g.triple_count() * 64);
+    for t in g.triples() {
+        for (i, n) in [t.s, t.p, t.o].into_iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match vocab.resolve(g.label(n)) {
+                rdf_model::LabelRef::Uri(u) => {
+                    out.push('<');
+                    escape_into(&mut out, u, true);
+                    out.push('>');
+                }
+                rdf_model::LabelRef::Literal(l) => {
+                    // Split off a folded @lang / ^^<dt> suffix if present.
+                    write_literal(&mut out, l);
+                }
+                rdf_model::LabelRef::Blank => {
+                    out.push_str("_:");
+                    match graph.blank_name(n) {
+                        Some(name) => out.push_str(name),
+                        None => out.push_str(&format!("b{}", n.0)),
+                    }
+                }
+            }
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+/// Write a literal label, re-expanding folded `@lang` / `^^dt` suffixes.
+fn write_literal(out: &mut String, label: &str) {
+    // Find a fold point: the label was built as value + ("@lang" | "^^" + dt).
+    // Serialise the value quoted; suffixes as-is (datatype re-bracketed).
+    if let Some(idx) = label.rfind("^^") {
+        let (value, dt) = label.split_at(idx);
+        out.push('"');
+        escape_into(out, value, false);
+        out.push('"');
+        out.push_str("^^<");
+        escape_into(out, &dt[2..], true);
+        out.push('>');
+        return;
+    }
+    if let Some(idx) = label.rfind('@') {
+        let (value, tag) = label.split_at(idx);
+        let tag_ok = tag.len() > 1
+            && tag[1..].chars().all(|c| c.is_ascii_alphanumeric() || c == '-');
+        if tag_ok && !value.is_empty() {
+            out.push('"');
+            escape_into(out, value, false);
+            out.push('"');
+            out.push_str(tag);
+            return;
+        }
+    }
+    out.push('"');
+    escape_into(out, label, false);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_triples() {
+        let doc = "<http://e.org/s> <http://e.org/p> <http://e.org/o> .\n\
+                   <http://e.org/s> <http://e.org/q> \"hello\" .\n";
+        let ts = parse_triples(doc).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].0, Term::uri("http://e.org/s"));
+        assert_eq!(ts[1].2, Term::literal("hello"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let doc = "# a comment\n\n<u:s> <u:p> _:b1 . # trailing\n";
+        let ts = parse_triples(doc).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].2, Term::blank("b1"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let doc = r#"<u:s> <u:p> "line\nbreak \"quoted\" tab\t\\" ."#;
+        let ts = parse_triples(doc).unwrap();
+        assert_eq!(
+            ts[0].2,
+            Term::literal("line\nbreak \"quoted\" tab\t\\")
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let doc = "<u:s> <u:p> \"caf\\u00E9 \\U0001F600\" .";
+        let ts = parse_triples(doc).unwrap();
+        assert_eq!(ts[0].2, Term::literal("café 😀"));
+    }
+
+    #[test]
+    fn language_tags_and_datatypes() {
+        let doc = "<u:s> <u:p> \"chat\"@fr .\n\
+                   <u:s> <u:q> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .";
+        let ts = parse_triples(doc).unwrap();
+        assert_eq!(ts[0].2, Term::literal("chat@fr"));
+        assert_eq!(
+            ts[1].2,
+            Term::literal("42^^http://www.w3.org/2001/XMLSchema#int")
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_triples("<u:s> <u:p> .").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected term"));
+        let err = parse_triples("<u:s> <u:p> \"x\"").unwrap_err();
+        assert!(err.message.contains("expected '.'"));
+        let err =
+            parse_triples("ok <u:p> <u:o> .").unwrap_err();
+        assert!(err.message.contains("expected term"));
+    }
+
+    #[test]
+    fn literal_subject_rejected_via_graph() {
+        let mut v = Vocab::new();
+        let err = parse_graph("\"lit\" <u:p> <u:o> .", &mut v).unwrap_err();
+        assert!(err.message.contains("subject"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut v = Vocab::new();
+        let doc = "<u:s> <u:p> \"a b c\" .\n\
+                   <u:s> <u:q> _:rec .\n\
+                   _:rec <u:zip> \"EH8 9\\\"AB\\\"\" .\n\
+                   _:rec <u:city> \"Edinburgh\"@en .\n";
+        let g = parse_graph(doc, &mut v).unwrap();
+        let written = write_graph(&g, &v);
+        let mut v2 = Vocab::new();
+        let g2 = parse_graph(&written, &mut v2).unwrap();
+        assert_eq!(g.triple_count(), g2.triple_count());
+        assert_eq!(g.node_count(), g2.node_count());
+        // Second round trip is byte-identical (canonical order).
+        let written2 = write_graph(&g2, &v2);
+        assert_eq!(written, written2);
+    }
+
+    #[test]
+    fn blank_node_dot_disambiguation() {
+        // `_:b1.` — the dot is the statement terminator, not part of the
+        // label.
+        let ts = parse_triples("<u:s> <u:p> _:b1.").unwrap();
+        assert_eq!(ts[0].2, Term::blank("b1"));
+    }
+
+    #[test]
+    fn iri_escapes_round_trip() {
+        let mut v = Vocab::new();
+        let g = {
+            let mut b = rdf_model::RdfGraphBuilder::new(&mut v);
+            b.uuu("http://e.org/space here", "u:p", "u:o");
+            b.finish()
+        };
+        let written = write_graph(&g, &v);
+        assert!(written.contains("\\u0020"));
+        let mut v2 = Vocab::new();
+        let g2 = parse_graph(&written, &mut v2).unwrap();
+        assert_eq!(g2.triple_count(), 1);
+        assert!(v2.find_uri("http://e.org/space here").is_some());
+    }
+}

@@ -1,0 +1,98 @@
+//! Table-driven error-handling tests for the N-Triples parser: every
+//! malformed input must fail with a located, descriptive error — never
+//! panic, never mis-parse.
+
+use rdf_io::{parse_graph, parse_triples};
+use rdf_model::Vocab;
+
+#[test]
+fn malformed_inputs_report_errors() {
+    let cases: &[(&str, &str)] = &[
+        ("<u:s> <u:p>", "expected term"),
+        ("<u:s> <u:p> <u:o>", "expected '.'"),
+        ("<u:s <u:p> <u:o> .", "IRI"),
+        ("<u:s> <u:p> \"unterminated .", "unterminated literal"),
+        ("<u:s> <u:p> \"bad\\escape\" .", "invalid string escape"),
+        ("<u:s> <u:p> \"x\"@ .", "empty language tag"),
+        ("<u:s> <u:p> _: .", "empty blank node label"),
+        ("<u:s> <u:p> <u:o> . trailing", "trailing content"),
+        ("<u:s> <u:p> \"\\uZZZZ\" .", "invalid hex digit"),
+        ("<u:s> <u:p> \"\\uD800\" .", "invalid code point"),
+        ("nonsense line", "expected term"),
+        ("<u:s> <u:p> <u:o> extra .", "expected '.'"),
+    ];
+    for (input, needle) in cases {
+        let err = parse_triples(input)
+            .expect_err(&format!("input {input:?} must fail"));
+        assert!(
+            err.message.contains(needle),
+            "input {input:?}: error {:?} should mention {needle:?}",
+            err.message
+        );
+        assert_eq!(err.line, 1);
+        assert!(err.column >= 1);
+    }
+}
+
+#[test]
+fn error_line_numbers_count_from_one() {
+    let doc = "<u:s> <u:p> <u:o> .\n# fine\n<u:s> <u:p> broken .\n";
+    let err = parse_triples(doc).unwrap_err();
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn rdf_convention_violations_are_reported() {
+    let mut v = Vocab::new();
+    for (doc, needle) in [
+        ("\"literal\" <u:p> <u:o> .", "subject"),
+        ("<u:s> \"lit\" <u:o> .", "predicate"),
+        ("<u:s> _:b <u:o> .", "predicate"),
+    ] {
+        let err = parse_graph(doc, &mut v)
+            .expect_err(&format!("{doc:?} must violate RDF conventions"));
+        assert!(
+            err.message.contains(needle),
+            "{doc:?}: {:?} should mention {needle:?}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn empty_and_comment_only_documents_parse() {
+    assert!(parse_triples("").unwrap().is_empty());
+    assert!(parse_triples("\n\n# only comments\n  \n").unwrap().is_empty());
+}
+
+#[test]
+fn whitespace_tolerance() {
+    let doc = "  <u:s>\t\t<u:p>   \"spaced\"  .  # comment\n";
+    let ts = parse_triples(doc).unwrap();
+    assert_eq!(ts.len(), 1);
+}
+
+#[test]
+fn file_round_trip() {
+    let mut vocab = Vocab::new();
+    let g = rdf_io::parse_graph(
+        "<u:s> <u:p> \"v1\" .\n<u:s> <u:q> _:b .\n_:b <u:r> \"v2\"@en .\n",
+        &mut vocab,
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join("rdf_io_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.nt");
+    rdf_io::save_file(&path, &g, &vocab).unwrap();
+    let mut fresh = Vocab::new();
+    let loaded = rdf_io::load_file(&path, &mut fresh).unwrap();
+    assert_eq!(loaded.triple_count(), g.triple_count());
+    assert_eq!(loaded.node_count(), g.node_count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn load_missing_file_errors() {
+    let mut vocab = Vocab::new();
+    assert!(rdf_io::load_file("/nonexistent/nope.nt", &mut vocab).is_err());
+}

@@ -1,0 +1,246 @@
+//! Node labels and the label vocabulary.
+//!
+//! Section 2.1 of the paper: the label set is `I = U ∪ L ∪ {⊥b}` where `U`
+//! are URI labels, `L` literal values, and `⊥b` a single special value
+//! shared by all blank nodes. Labels are interned into dense [`LabelId`]s so
+//! that label equality — the basis of the trivial alignment — is an integer
+//! comparison, and so that two graph versions built against the same
+//! [`Vocab`] can be combined without string comparisons.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// The three syntactic categories of RDF node labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelKind {
+    /// A URI reference (also used for predicates).
+    Uri,
+    /// A literal value; in this model the lexical form, datatype and
+    /// language tag are folded into one interned string.
+    Literal,
+    /// The unique blank label `⊥b`.
+    Blank,
+}
+
+/// Dense identifier of an interned label. `LabelId::BLANK` (= 0) is the
+/// shared blank label; all other ids denote URIs or literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The single blank label `⊥b`. Every vocabulary reserves id 0 for it.
+    pub const BLANK: LabelId = LabelId(0);
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the blank label.
+    #[inline]
+    pub fn is_blank(self) -> bool {
+        self == Self::BLANK
+    }
+}
+
+/// A borrowed view of a resolved label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelRef<'a> {
+    /// URI label with its text.
+    Uri(&'a str),
+    /// Literal label with its lexical text.
+    Literal(&'a str),
+    /// The blank label.
+    Blank,
+}
+
+impl<'a> LabelRef<'a> {
+    /// The syntactic category of this label.
+    pub fn kind(&self) -> LabelKind {
+        match self {
+            LabelRef::Uri(_) => LabelKind::Uri,
+            LabelRef::Literal(_) => LabelKind::Literal,
+            LabelRef::Blank => LabelKind::Blank,
+        }
+    }
+
+    /// The label text; blank labels have none.
+    pub fn text(&self) -> Option<&'a str> {
+        match self {
+            LabelRef::Uri(s) | LabelRef::Literal(s) => Some(s),
+            LabelRef::Blank => None,
+        }
+    }
+}
+
+impl fmt::Display for LabelRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelRef::Uri(s) => write!(f, "{s}"),
+            LabelRef::Literal(s) => write!(f, "{s:?}"),
+            LabelRef::Blank => write!(f, "_:b"),
+        }
+    }
+}
+
+/// Interning vocabulary shared by all graph versions under alignment.
+///
+/// URIs and literals live in disjoint namespaces (per §2.1, `U` and `L`
+/// are disjoint), so the URI `"x"` and the literal `"x"` receive distinct
+/// ids. Interning is append-only; ids are stable for the life of the vocab.
+#[derive(Debug, Default, Clone)]
+pub struct Vocab {
+    kinds: Vec<LabelKind>,
+    texts: Vec<String>,
+    uri_map: FxHashMap<String, LabelId>,
+    literal_map: FxHashMap<String, LabelId>,
+}
+
+impl Vocab {
+    /// Create a vocabulary containing only the blank label.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            kinds: Vec::new(),
+            texts: Vec::new(),
+            uri_map: FxHashMap::default(),
+            literal_map: FxHashMap::default(),
+        };
+        // Reserve id 0 for the blank label.
+        v.kinds.push(LabelKind::Blank);
+        v.texts.push(String::new());
+        v
+    }
+
+    /// Number of interned labels, including the blank label.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the vocabulary holds only the blank label.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.len() <= 1
+    }
+
+    /// Intern a URI label.
+    pub fn uri(&mut self, text: &str) -> LabelId {
+        if let Some(&id) = self.uri_map.get(text) {
+            return id;
+        }
+        let id = LabelId(self.kinds.len() as u32);
+        self.kinds.push(LabelKind::Uri);
+        self.texts.push(text.to_owned());
+        self.uri_map.insert(text.to_owned(), id);
+        id
+    }
+
+    /// Intern a literal label.
+    pub fn literal(&mut self, text: &str) -> LabelId {
+        if let Some(&id) = self.literal_map.get(text) {
+            return id;
+        }
+        let id = LabelId(self.kinds.len() as u32);
+        self.kinds.push(LabelKind::Literal);
+        self.texts.push(text.to_owned());
+        self.literal_map.insert(text.to_owned(), id);
+        id
+    }
+
+    /// Look up an already-interned URI without interning.
+    pub fn find_uri(&self, text: &str) -> Option<LabelId> {
+        self.uri_map.get(text).copied()
+    }
+
+    /// Look up an already-interned literal without interning.
+    pub fn find_literal(&self, text: &str) -> Option<LabelId> {
+        self.literal_map.get(text).copied()
+    }
+
+    /// The syntactic category of a label.
+    #[inline]
+    pub fn kind(&self, id: LabelId) -> LabelKind {
+        self.kinds[id.index()]
+    }
+
+    /// Resolve an id to a borrowed label view.
+    #[inline]
+    pub fn resolve(&self, id: LabelId) -> LabelRef<'_> {
+        match self.kinds[id.index()] {
+            LabelKind::Uri => LabelRef::Uri(&self.texts[id.index()]),
+            LabelKind::Literal => LabelRef::Literal(&self.texts[id.index()]),
+            LabelKind::Blank => LabelRef::Blank,
+        }
+    }
+
+    /// The raw text of a label (empty for the blank label).
+    #[inline]
+    pub fn text(&self, id: LabelId) -> &str {
+        &self.texts[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_is_reserved() {
+        let v = Vocab::new();
+        assert_eq!(v.kind(LabelId::BLANK), LabelKind::Blank);
+        assert_eq!(v.resolve(LabelId::BLANK), LabelRef::Blank);
+        assert!(LabelId::BLANK.is_blank());
+        assert_eq!(v.len(), 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.uri("http://example.org/a");
+        let b = v.uri("http://example.org/a");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn uri_and_literal_namespaces_are_disjoint() {
+        let mut v = Vocab::new();
+        let u = v.uri("x");
+        let l = v.literal("x");
+        assert_ne!(u, l);
+        assert_eq!(v.kind(u), LabelKind::Uri);
+        assert_eq!(v.kind(l), LabelKind::Literal);
+        assert_eq!(v.text(u), "x");
+        assert_eq!(v.text(l), "x");
+    }
+
+    #[test]
+    fn find_does_not_intern() {
+        let mut v = Vocab::new();
+        assert_eq!(v.find_uri("u"), None);
+        let id = v.uri("u");
+        assert_eq!(v.find_uri("u"), Some(id));
+        assert_eq!(v.find_literal("u"), None);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut v = Vocab::new();
+        let u = v.uri("http://e.org/x");
+        let l = v.literal("A literal with spaces");
+        assert_eq!(v.resolve(u), LabelRef::Uri("http://e.org/x"));
+        assert_eq!(v.resolve(l), LabelRef::Literal("A literal with spaces"));
+        assert_eq!(v.resolve(u).text(), Some("http://e.org/x"));
+        assert_eq!(v.resolve(LabelId::BLANK).text(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut v = Vocab::new();
+        let u = v.uri("u:x");
+        let l = v.literal("lit");
+        assert_eq!(format!("{}", v.resolve(u)), "u:x");
+        assert_eq!(format!("{}", v.resolve(l)), "\"lit\"");
+        assert_eq!(format!("{}", v.resolve(LabelId::BLANK)), "_:b");
+    }
+}

@@ -1,0 +1,395 @@
+//! RDF graphs: triple graphs satisfying the RDF conventions of §2.1.
+//!
+//! An RDF graph is a triple graph in which
+//! * no two nodes carry the same URI or literal label,
+//! * literal labels occur only in object position, and
+//! * predicates are never blank.
+//!
+//! [`RdfGraphBuilder`] offers the familiar term-level API (URIs, literals,
+//! locally named blank nodes) and enforces those invariants, producing an
+//! [`RdfGraph`] that owns the underlying [`TripleGraph`].
+
+use crate::graph::{GraphBuilder, NodeId, TripleGraph};
+use crate::hash::FxHashMap;
+use crate::label::{LabelId, LabelKind, Vocab};
+use std::fmt;
+
+/// A term as written in RDF source: the builder-facing view of a node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// URI reference.
+    Uri(String),
+    /// Literal value.
+    Literal(String),
+    /// Blank node with a document-local name (e.g. `_:b1`). The name
+    /// scopes node identity inside one graph only and is *not* a label.
+    Blank(String),
+}
+
+impl Term {
+    /// Convenience constructor for URI terms.
+    pub fn uri(s: impl Into<String>) -> Self {
+        Term::Uri(s.into())
+    }
+
+    /// Convenience constructor for literal terms.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal(s.into())
+    }
+
+    /// Convenience constructor for blank terms.
+    pub fn blank(s: impl Into<String>) -> Self {
+        Term::Blank(s.into())
+    }
+}
+
+/// Errors raised when a triple violates the RDF conventions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A literal was used as subject.
+    LiteralSubject(String),
+    /// A literal was used as predicate.
+    LiteralPredicate(String),
+    /// A blank node was used as predicate.
+    BlankPredicate(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::LiteralSubject(l) => {
+                write!(f, "literal {l:?} used in subject position")
+            }
+            RdfError::LiteralPredicate(l) => {
+                write!(f, "literal {l:?} used in predicate position")
+            }
+            RdfError::BlankPredicate(b) => {
+                write!(f, "blank node _:{b} used in predicate position")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+/// An immutable RDF graph (one *version* in the alignment problem).
+#[derive(Debug, Clone)]
+pub struct RdfGraph {
+    graph: TripleGraph,
+    /// Local blank-node names, parallel to the blank nodes of the graph,
+    /// kept for round-tripping and debugging (blank names are not labels).
+    blank_names: FxHashMap<NodeId, String>,
+}
+
+impl RdfGraph {
+    /// The underlying triple graph.
+    #[inline]
+    pub fn graph(&self) -> &TripleGraph {
+        &self.graph
+    }
+
+    /// The document-local name of a blank node, if it was built with one.
+    pub fn blank_name(&self, n: NodeId) -> Option<&str> {
+        self.blank_names.get(&n).map(String::as_str)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of triples.
+    pub fn triple_count(&self) -> usize {
+        self.graph.triple_count()
+    }
+}
+
+/// Builder enforcing RDF invariants; terms are deduplicated so that each
+/// URI/literal label yields exactly one node.
+pub struct RdfGraphBuilder<'v> {
+    vocab: &'v mut Vocab,
+    builder: GraphBuilder,
+    by_label: FxHashMap<LabelId, NodeId>,
+    by_blank_name: FxHashMap<String, NodeId>,
+    blank_names: FxHashMap<NodeId, String>,
+}
+
+impl<'v> RdfGraphBuilder<'v> {
+    /// New builder interning into (and sharing) `vocab`.
+    pub fn new(vocab: &'v mut Vocab) -> Self {
+        RdfGraphBuilder {
+            vocab,
+            builder: GraphBuilder::new(),
+            by_label: FxHashMap::default(),
+            by_blank_name: FxHashMap::default(),
+            blank_names: FxHashMap::default(),
+        }
+    }
+
+    /// Node for a URI, reusing an existing node with the same label.
+    pub fn uri_node(&mut self, text: &str) -> NodeId {
+        let label = self.vocab.uri(text);
+        if let Some(&n) = self.by_label.get(&label) {
+            return n;
+        }
+        let n = self.builder.add_node(label, self.vocab);
+        self.by_label.insert(label, n);
+        n
+    }
+
+    /// Node for a literal, reusing an existing node with the same label.
+    pub fn literal_node(&mut self, text: &str) -> NodeId {
+        let label = self.vocab.literal(text);
+        if let Some(&n) = self.by_label.get(&label) {
+            return n;
+        }
+        let n = self.builder.add_node(label, self.vocab);
+        self.by_label.insert(label, n);
+        n
+    }
+
+    /// Node for a locally named blank node; the same name maps to the same
+    /// node within this builder.
+    pub fn blank_node(&mut self, name: &str) -> NodeId {
+        if let Some(&n) = self.by_blank_name.get(name) {
+            return n;
+        }
+        let n = self.builder.add_node(LabelId::BLANK, self.vocab);
+        self.by_blank_name.insert(name.to_owned(), n);
+        self.blank_names.insert(n, name.to_owned());
+        n
+    }
+
+    /// A fresh anonymous blank node (never merged with any other).
+    pub fn fresh_blank(&mut self) -> NodeId {
+        self.builder.add_node(LabelId::BLANK, self.vocab)
+    }
+
+    /// Resolve a [`Term`] to a node id, interning as necessary.
+    pub fn term_node(&mut self, term: &Term) -> NodeId {
+        match term {
+            Term::Uri(u) => self.uri_node(u),
+            Term::Literal(l) => self.literal_node(l),
+            Term::Blank(b) => self.blank_node(b),
+        }
+    }
+
+    /// Add a triple of already-resolved node ids, checking invariants.
+    pub fn add_triple_ids(
+        &mut self,
+        s: NodeId,
+        p: NodeId,
+        o: NodeId,
+    ) -> Result<(), RdfError> {
+        use LabelKind::*;
+        match self.kind_of(s) {
+            Literal => {
+                return Err(RdfError::LiteralSubject(self.describe(s)));
+            }
+            _ => {}
+        }
+        match self.kind_of(p) {
+            Literal => {
+                return Err(RdfError::LiteralPredicate(self.describe(p)));
+            }
+            Blank => {
+                return Err(RdfError::BlankPredicate(self.describe(p)));
+            }
+            Uri => {}
+        }
+        self.builder.add_triple(s, p, o);
+        Ok(())
+    }
+
+    /// Add a triple of terms, interning as necessary and checking
+    /// invariants.
+    pub fn add_triple(
+        &mut self,
+        s: &Term,
+        p: &Term,
+        o: &Term,
+    ) -> Result<(), RdfError> {
+        // Validate before interning nodes so a rejected triple does not
+        // leave orphan nodes behind.
+        match s {
+            Term::Literal(l) => return Err(RdfError::LiteralSubject(l.clone())),
+            _ => {}
+        }
+        match p {
+            Term::Literal(l) => {
+                return Err(RdfError::LiteralPredicate(l.clone()))
+            }
+            Term::Blank(b) => return Err(RdfError::BlankPredicate(b.clone())),
+            Term::Uri(_) => {}
+        }
+        let s = self.term_node(s);
+        let p = self.term_node(p);
+        let o = self.term_node(o);
+        self.builder.add_triple(s, p, o);
+        Ok(())
+    }
+
+    /// Shorthand: add `(uri, uri, uri)`.
+    pub fn uuu(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.uri_node(s);
+        let p = self.uri_node(p);
+        let o = self.uri_node(o);
+        self.builder.add_triple(s, p, o);
+    }
+
+    /// Shorthand: add `(uri, uri, literal)`.
+    pub fn uul(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.uri_node(s);
+        let p = self.uri_node(p);
+        let o = self.literal_node(o);
+        self.builder.add_triple(s, p, o);
+    }
+
+    /// Shorthand: add `(uri, uri, blank)`.
+    pub fn uub(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.uri_node(s);
+        let p = self.uri_node(p);
+        let o = self.blank_node(o);
+        self.builder.add_triple(s, p, o);
+    }
+
+    /// Shorthand: add `(blank, uri, literal)`.
+    pub fn bul(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.blank_node(s);
+        let p = self.uri_node(p);
+        let o = self.literal_node(o);
+        self.builder.add_triple(s, p, o);
+    }
+
+    /// Shorthand: add `(blank, uri, uri)`.
+    pub fn buu(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.blank_node(s);
+        let p = self.uri_node(p);
+        let o = self.uri_node(o);
+        self.builder.add_triple(s, p, o);
+    }
+
+    /// Shorthand: add `(blank, uri, blank)`.
+    pub fn bub(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.blank_node(s);
+        let p = self.uri_node(p);
+        let o = self.blank_node(o);
+        self.builder.add_triple(s, p, o);
+    }
+
+    fn kind_of(&self, n: NodeId) -> LabelKind {
+        self.builder.kind(n)
+    }
+
+    fn describe(&self, n: NodeId) -> String {
+        if let Some(name) = self.blank_names.get(&n) {
+            return name.clone();
+        }
+        self.vocab.text(self.builder.label(n)).to_owned()
+    }
+
+    /// Freeze into an [`RdfGraph`].
+    pub fn finish(self) -> RdfGraph {
+        RdfGraph {
+            graph: self.builder.freeze(),
+            blank_names: self.blank_names,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_deduplicate() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        let n1 = b.uri_node("x");
+        let n2 = b.uri_node("x");
+        assert_eq!(n1, n2);
+        let l1 = b.literal_node("a");
+        let l2 = b.literal_node("a");
+        assert_eq!(l1, l2);
+        let bl1 = b.blank_node("b1");
+        let bl2 = b.blank_node("b1");
+        let bl3 = b.blank_node("b2");
+        assert_eq!(bl1, bl2);
+        assert_ne!(bl1, bl3);
+    }
+
+    #[test]
+    fn fresh_blanks_are_distinct() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        let x = b.fresh_blank();
+        let y = b.fresh_blank();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn literal_subject_rejected() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        let err = b
+            .add_triple(&Term::literal("x"), &Term::uri("p"), &Term::uri("y"))
+            .unwrap_err();
+        assert_eq!(err, RdfError::LiteralSubject("x".into()));
+    }
+
+    #[test]
+    fn blank_predicate_rejected() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        let err = b
+            .add_triple(&Term::uri("x"), &Term::blank("p"), &Term::uri("y"))
+            .unwrap_err();
+        assert_eq!(err, RdfError::BlankPredicate("p".into()));
+    }
+
+    #[test]
+    fn literal_predicate_rejected() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        let err = b
+            .add_triple(&Term::uri("x"), &Term::literal("p"), &Term::uri("y"))
+            .unwrap_err();
+        assert_eq!(err, RdfError::LiteralPredicate("p".into()));
+    }
+
+    #[test]
+    fn rejected_triple_leaves_no_orphan_nodes() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        b.add_triple(&Term::uri("s"), &Term::blank("p"), &Term::uri("o"))
+            .unwrap_err();
+        let g = b.finish();
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn figure1_version1_shape() {
+        // The version-1 graph of Figure 1.
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        b.uub("ss", "address", "b1");
+        b.uuu("ss", "employer", "ed-uni");
+        b.uub("ss", "name", "b2");
+        b.bul("b1", "zip", "EH8");
+        b.bul("b1", "city", "Edinburgh");
+        b.uul("ed-uni", "name", "University of Edinburgh");
+        b.uul("ed-uni", "city", "Edinburgh");
+        b.bul("b2", "first", "Slawek");
+        b.bul("b2", "middle", "Pawel");
+        b.bul("b2", "last", "Staworko");
+        let g = b.finish();
+        // Nodes: ss, address, b1, employer, ed-uni, name, b2, zip, "EH8",
+        // city, "Edinburgh", "University of Edinburgh", first, "Slawek",
+        // middle, "Pawel", last, "Staworko" = 18
+        assert_eq!(g.node_count(), 18);
+        assert_eq!(g.triple_count(), 10);
+        assert_eq!(g.graph().blanks().len(), 2);
+        assert_eq!(g.graph().literals().len(), 6);
+        assert_eq!(g.blank_name(g.graph().blanks()[0]), Some("b1"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-version graph statistics, as reported in Figures 9 and 12.
+
+use crate::graph::TripleGraph;
+use crate::label::LabelKind;
+
+/// Node/edge counts of one graph version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Nodes labelled with URIs.
+    pub uris: usize,
+    /// Nodes labelled with literals.
+    pub literals: usize,
+    /// Blank nodes.
+    pub blanks: usize,
+    /// Number of (distinct) triples.
+    pub edges: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for a graph.
+    pub fn of(g: &TripleGraph) -> Self {
+        let mut s = GraphStats {
+            nodes: g.node_count(),
+            edges: g.triple_count(),
+            ..Default::default()
+        };
+        for n in g.nodes() {
+            match g.kind(n) {
+                LabelKind::Uri => s.uris += 1,
+                LabelKind::Literal => s.literals += 1,
+                LabelKind::Blank => s.blanks += 1,
+            }
+        }
+        s
+    }
+
+    /// Fraction of nodes that are literals (the paper reports >75 % for
+    /// EFO).
+    pub fn literal_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.literals as f64 / self.nodes as f64
+        }
+    }
+
+    /// Fraction of nodes that are blank.
+    pub fn blank_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.blanks as f64 / self.nodes as f64
+        }
+    }
+
+    /// Fraction of nodes that are URIs.
+    pub fn uri_fraction(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.uris as f64 / self.nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Vocab;
+    use crate::rdf::RdfGraphBuilder;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        b.uub("x", "p", "b1");
+        b.bul("b1", "q", "lit1");
+        b.bul("b1", "q2", "lit2");
+        let g = b.finish();
+        let s = GraphStats::of(g.graph());
+        assert_eq!(s.nodes, 7); // x, p, b1, q, lit1, q2, lit2
+        assert_eq!(s.uris, 4);
+        assert_eq!(s.blanks, 1);
+        assert_eq!(s.literals, 2);
+        assert_eq!(s.edges, 3);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut v = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut v);
+        b.uul("x", "p", "a");
+        b.uul("x", "p", "b");
+        let g = b.finish();
+        let s = GraphStats::of(g.graph());
+        assert_eq!(s.nodes, 4);
+        assert!((s.literal_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.uri_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.blank_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_fractions_are_zero() {
+        let s = GraphStats::default();
+        assert_eq!(s.literal_fraction(), 0.0);
+        assert_eq!(s.uri_fraction(), 0.0);
+        assert_eq!(s.blank_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Ground-truth correspondences between two graph versions.
+//!
+//! The GtoPdb experiment (§5.2) derives a precise alignment from persistent
+//! primary keys: every node of one version corresponds to *at most one*
+//! node of the other. This module is the carrier type for such truths,
+//! produced by the data generators and consumed by the precision metrics.
+
+use crate::graph::NodeId;
+use crate::hash::FxHashMap;
+
+/// A (partial) one-to-one correspondence between source and target nodes,
+/// in graph-local node ids.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    pairs: Vec<(NodeId, NodeId)>,
+    by_source: FxHashMap<NodeId, NodeId>,
+    by_target: FxHashMap<NodeId, NodeId>,
+}
+
+impl GroundTruth {
+    /// Empty truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pairs; panics on duplicate source or target entries
+    /// (the truth must be one-to-one).
+    pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>) -> Self {
+        let mut by_source = FxHashMap::default();
+        let mut by_target = FxHashMap::default();
+        for &(s, t) in &pairs {
+            assert!(
+                by_source.insert(s, t).is_none(),
+                "duplicate source node {s} in ground truth"
+            );
+            assert!(
+                by_target.insert(t, s).is_none(),
+                "duplicate target node {t} in ground truth"
+            );
+        }
+        GroundTruth {
+            pairs,
+            by_source,
+            by_target,
+        }
+    }
+
+    /// Record a correspondence.
+    pub fn insert(&mut self, source: NodeId, target: NodeId) {
+        assert!(
+            self.by_source.insert(source, target).is_none(),
+            "duplicate source node {source} in ground truth"
+        );
+        assert!(
+            self.by_target.insert(target, source).is_none(),
+            "duplicate target node {target} in ground truth"
+        );
+        self.pairs.push((source, target));
+    }
+
+    /// All pairs, in insertion order.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Number of matched entities.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the truth is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The target matched to a source node, if any.
+    pub fn target_of(&self, source: NodeId) -> Option<NodeId> {
+        self.by_source.get(&source).copied()
+    }
+
+    /// The source matched to a target node, if any.
+    pub fn source_of(&self, target: NodeId) -> Option<NodeId> {
+        self.by_target.get(&target).copied()
+    }
+
+    /// Whether the pair is in the truth.
+    pub fn contains(&self, source: NodeId, target: NodeId) -> bool {
+        self.target_of(source) == Some(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_both_directions() {
+        let gt = GroundTruth::from_pairs(vec![
+            (NodeId(0), NodeId(10)),
+            (NodeId(1), NodeId(11)),
+        ]);
+        assert_eq!(gt.len(), 2);
+        assert_eq!(gt.target_of(NodeId(0)), Some(NodeId(10)));
+        assert_eq!(gt.source_of(NodeId(11)), Some(NodeId(1)));
+        assert_eq!(gt.target_of(NodeId(5)), None);
+        assert!(gt.contains(NodeId(0), NodeId(10)));
+        assert!(!gt.contains(NodeId(0), NodeId(11)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate source")]
+    fn duplicate_source_panics() {
+        GroundTruth::from_pairs(vec![
+            (NodeId(0), NodeId(10)),
+            (NodeId(0), NodeId(11)),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_target_panics() {
+        let mut gt = GroundTruth::new();
+        gt.insert(NodeId(0), NodeId(10));
+        gt.insert(NodeId(1), NodeId(10));
+    }
+
+    #[test]
+    fn empty() {
+        let gt = GroundTruth::new();
+        assert!(gt.is_empty());
+        assert_eq!(gt.pairs(), &[]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the data-model substrate: builder determinism,
+//! CSR adjacency consistency, union arithmetic.
+
+use proptest::prelude::*;
+use rdf_model::{
+    CombinedGraph, GraphBuilder, LabelId, NodeId, RdfGraphBuilder, Side,
+    Triple, Vocab,
+};
+
+fn arb_spec() -> impl Strategy<Value = (usize, Vec<(u8, u8, u8)>)> {
+    (1usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(
+                (0u8..n as u8, 0u8..n as u8, 0u8..n as u8),
+                0..40,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSR adjacency agrees with the raw triple list.
+    #[test]
+    fn out_neighbourhood_consistent((n, triples) in arb_spec()) {
+        let mut vocab = Vocab::new();
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            let l = if i % 3 == 0 {
+                LabelId::BLANK
+            } else {
+                vocab.uri(&format!("u{i}"))
+            };
+            b.add_node(l, &vocab);
+        }
+        for &(s, p, o) in &triples {
+            b.add_triple(NodeId(s as u32), NodeId(p as u32), NodeId(o as u32));
+        }
+        let g = b.freeze();
+        // Every triple is visible through out(); degrees sum to the
+        // triple count.
+        let mut total = 0;
+        for node in g.nodes() {
+            let out = g.out(node);
+            total += out.len();
+            prop_assert!(out.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            for &(p, o) in out {
+                prop_assert!(g.has_triple(node, p, o));
+            }
+        }
+        prop_assert_eq!(total, g.triple_count());
+        // Deduplication: triple list is strictly increasing.
+        prop_assert!(g
+            .triples()
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+    }
+
+    /// Union bookkeeping: side, locals, and triple counts add up.
+    #[test]
+    fn union_arithmetic(
+        (n1, t1) in arb_spec(),
+        (n2, t2) in arb_spec(),
+    ) {
+        let mut vocab = Vocab::new();
+        let build = |vocab: &mut Vocab, n: usize, ts: &[(u8, u8, u8)]| {
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                let l = vocab.uri(&format!("u{i}"));
+                b.add_node(l, vocab);
+            }
+            for &(s, p, o) in ts {
+                b.add_triple(
+                    NodeId(s as u32),
+                    NodeId(p as u32),
+                    NodeId(o as u32),
+                );
+            }
+            b.freeze()
+        };
+        let g1 = build(&mut vocab, n1, &t1);
+        let g2 = build(&mut vocab, n2, &t2);
+        let c = CombinedGraph::union_graphs(&vocab, &g1, &g2);
+        prop_assert_eq!(c.graph().node_count(), n1 + n2);
+        prop_assert_eq!(
+            c.graph().triple_count(),
+            g1.triple_count() + g2.triple_count()
+        );
+        for n in c.graph().nodes() {
+            let (side, local) = c.to_local(n);
+            match side {
+                Side::Source => {
+                    prop_assert_eq!(c.from_source(local), n);
+                    prop_assert_eq!(c.graph().label(n), g1.label(local));
+                }
+                Side::Target => {
+                    prop_assert_eq!(c.from_target(local), n);
+                    prop_assert_eq!(c.graph().label(n), g2.label(local));
+                }
+            }
+        }
+        // No cross-side triples.
+        for t in c.graph().triples() {
+            prop_assert_eq!(c.side(t.s), c.side(t.p));
+            prop_assert_eq!(c.side(t.s), c.side(t.o));
+        }
+    }
+
+    /// The RDF builder produces one node per distinct URI/literal and
+    /// maintains invariants over arbitrary term sequences.
+    #[test]
+    fn rdf_builder_dedup(
+        uris in proptest::collection::vec(0u8..6, 1..30),
+    ) {
+        let mut vocab = Vocab::new();
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        for (i, &u) in uris.iter().enumerate() {
+            b.uul(&format!("u{u}"), "p", &format!("value {}", i % 4));
+        }
+        let g = b.finish();
+        let distinct_subjects: std::collections::HashSet<u8> =
+            uris.iter().copied().collect();
+        // subjects + predicate "p" + ≤4 literal values
+        let expected_min = distinct_subjects.len() + 1;
+        prop_assert!(g.node_count() >= expected_min);
+        prop_assert!(g.node_count() <= expected_min + 4);
+    }
+}
+
+#[test]
+fn triple_ordering_is_lexicographic() {
+    let a = Triple::new(NodeId(0), NodeId(1), NodeId(2));
+    let b = Triple::new(NodeId(0), NodeId(1), NodeId(3));
+    let c = Triple::new(NodeId(1), NodeId(0), NodeId(0));
+    assert!(a < b);
+    assert!(b < c);
+}

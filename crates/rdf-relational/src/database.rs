@@ -1,0 +1,508 @@
+//! In-memory relational database with integrity checking.
+//!
+//! Rows are stored per table; inserts validate column types, NULLability,
+//! primary-key uniqueness, and foreign-key existence. Deletes can
+//! restrict or cascade through referencing rows — the evolution engine
+//! uses cascade to model entity removal between GtoPdb releases.
+
+use crate::schema::{ColumnType, Schema};
+use rdf_model::FxHashMap;
+use std::fmt;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Text.
+    Text(String),
+    /// Float.
+    Float(f64),
+}
+
+impl Value {
+    /// Lexical form used by the direct mapping (and key encoding).
+    pub fn lexical(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(i) => i.to_string(),
+            Value::Text(t) => t.clone(),
+            Value::Float(x) => format!("{x}"),
+        }
+    }
+
+    fn matches(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Int(_), ColumnType::Int)
+                | (Value::Text(_), ColumnType::Text)
+                | (Value::Float(_), ColumnType::Float)
+        )
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.into())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+/// A row: one value per column.
+pub type Row = Vec<Value>;
+
+/// Integrity violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Unknown table name.
+    NoSuchTable(String),
+    /// Row arity does not match the table.
+    Arity { /** table */ table: String, /** expected */ expected: usize, /** got */ got: usize },
+    /// Value type does not match the column.
+    TypeMismatch(String),
+    /// NULL in a non-nullable column.
+    NullViolation(String),
+    /// Duplicate primary key.
+    DuplicateKey(String),
+    /// Foreign key references a missing row.
+    ForeignKeyViolation(String),
+    /// Row with the given key not found.
+    NoSuchRow(String),
+    /// Delete would orphan referencing rows (restrict mode).
+    RestrictViolation(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            DbError::Arity {
+                table,
+                expected,
+                got,
+            } => write!(f, "table {table}: expected {expected} values, got {got}"),
+            DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DbError::NullViolation(m) => write!(f, "null violation: {m}"),
+            DbError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            DbError::ForeignKeyViolation(m) => {
+                write!(f, "foreign key violation: {m}")
+            }
+            DbError::NoSuchRow(m) => write!(f, "no such row: {m}"),
+            DbError::RestrictViolation(m) => {
+                write!(f, "delete restricted: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Delete behaviour for referencing rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteMode {
+    /// Fail if referencing rows exist.
+    Restrict,
+    /// Recursively delete referencing rows.
+    Cascade,
+}
+
+/// One table's storage: rows plus a primary-key index.
+#[derive(Debug, Clone, Default)]
+struct TableData {
+    rows: Vec<Row>,
+    /// Key (encoded pk) → row index. Deleted rows leave tombstones in
+    /// `rows` (None would complicate types; we swap-remove instead and
+    /// fix the index).
+    by_key: FxHashMap<String, usize>,
+}
+
+/// The database: schema + data.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    data: Vec<TableData>,
+}
+
+impl Database {
+    /// Empty database over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.tables.len();
+        Database {
+            schema,
+            data: vec![TableData::default(); n],
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Encode a primary key into its canonical string form.
+    pub fn encode_key(&self, table: usize, row: &Row) -> String {
+        let pk = &self.schema.tables[table].primary_key;
+        let mut out = String::new();
+        for (i, &c) in pk.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(&row[c].lexical());
+        }
+        out
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &str) -> usize {
+        let ti = self.schema.table_index(table).expect("table");
+        self.data[ti].rows.len()
+    }
+
+    /// Total rows across tables.
+    pub fn total_rows(&self) -> usize {
+        self.data.iter().map(|t| t.rows.len()).sum()
+    }
+
+    /// Iterate rows of a table.
+    pub fn rows(&self, table: &str) -> impl Iterator<Item = &Row> {
+        let ti = self.schema.table_index(table).expect("table");
+        self.data[ti].rows.iter()
+    }
+
+    /// Rows of a table by index.
+    pub fn rows_by_index(&self, table: usize) -> &[Row] {
+        &self.data[table].rows
+    }
+
+    /// Fetch a row by encoded key.
+    pub fn get(&self, table: &str, key: &str) -> Option<&Row> {
+        let ti = self.schema.table_index(table)?;
+        let idx = *self.data[ti].by_key.get(key)?;
+        Some(&self.data[ti].rows[idx])
+    }
+
+    /// Insert a row, validating all constraints.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), DbError> {
+        let ti = self
+            .schema
+            .table_index(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let t = &self.schema.tables[ti];
+        if row.len() != t.columns.len() {
+            return Err(DbError::Arity {
+                table: table.into(),
+                expected: t.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (v, c) in row.iter().zip(&t.columns) {
+            match v {
+                Value::Null => {
+                    if !c.nullable {
+                        return Err(DbError::NullViolation(format!(
+                            "{table}.{}",
+                            c.name
+                        )));
+                    }
+                }
+                v if !v.matches(c.ty) => {
+                    return Err(DbError::TypeMismatch(format!(
+                        "{table}.{} = {v:?}",
+                        c.name
+                    )))
+                }
+                _ => {}
+            }
+        }
+        let key = self.encode_key(ti, &row);
+        if self.data[ti].by_key.contains_key(&key) {
+            return Err(DbError::DuplicateKey(format!("{table}[{key}]")));
+        }
+        // Foreign keys.
+        for fk in &t.foreign_keys {
+            if fk.columns.iter().any(|&c| row[c] == Value::Null) {
+                continue; // NULL reference is permitted
+            }
+            let mut ref_key = String::new();
+            for (i, &c) in fk.columns.iter().enumerate() {
+                if i > 0 {
+                    ref_key.push(';');
+                }
+                ref_key.push_str(&row[c].lexical());
+            }
+            if !self.data[fk.ref_table].by_key.contains_key(&ref_key) {
+                return Err(DbError::ForeignKeyViolation(format!(
+                    "{table}[{key}] -> {}[{ref_key}]",
+                    self.schema.tables[fk.ref_table].name
+                )));
+            }
+        }
+        let idx = self.data[ti].rows.len();
+        self.data[ti].rows.push(row);
+        self.data[ti].by_key.insert(key, idx);
+        Ok(())
+    }
+
+    /// Update one column of the row with the given key.
+    pub fn update(
+        &mut self,
+        table: &str,
+        key: &str,
+        column: &str,
+        value: Value,
+    ) -> Result<(), DbError> {
+        let ti = self
+            .schema
+            .table_index(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let t = &self.schema.tables[ti];
+        let ci = t
+            .column_index(column)
+            .ok_or_else(|| DbError::TypeMismatch(format!("no column {column}")))?;
+        if t.primary_key.contains(&ci) {
+            return Err(DbError::TypeMismatch(
+                "updating key columns is not supported (keys are persistent)"
+                    .into(),
+            ));
+        }
+        match &value {
+            Value::Null => {
+                if !t.columns[ci].nullable {
+                    return Err(DbError::NullViolation(format!(
+                        "{table}.{column}"
+                    )));
+                }
+            }
+            v if !v.matches(t.columns[ci].ty) => {
+                return Err(DbError::TypeMismatch(format!(
+                    "{table}.{column} = {v:?}"
+                )))
+            }
+            _ => {}
+        }
+        let idx = *self.data[ti]
+            .by_key
+            .get(key)
+            .ok_or_else(|| DbError::NoSuchRow(format!("{table}[{key}]")))?;
+        self.data[ti].rows[idx][ci] = value;
+        Ok(())
+    }
+
+    /// Delete the row with the given key.
+    pub fn delete(
+        &mut self,
+        table: &str,
+        key: &str,
+        mode: DeleteMode,
+    ) -> Result<usize, DbError> {
+        let ti = self
+            .schema
+            .table_index(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        if !self.data[ti].by_key.contains_key(key) {
+            return Err(DbError::NoSuchRow(format!("{table}[{key}]")));
+        }
+        // Find referencing rows across all tables.
+        let mut to_delete: Vec<(usize, String)> = Vec::new();
+        for (oti, ot) in self.schema.tables.iter().enumerate() {
+            for fk in &ot.foreign_keys {
+                if fk.ref_table != ti {
+                    continue;
+                }
+                for row in &self.data[oti].rows {
+                    let mut ref_key = String::new();
+                    for (i, &c) in fk.columns.iter().enumerate() {
+                        if i > 0 {
+                            ref_key.push(';');
+                        }
+                        ref_key.push_str(&row[c].lexical());
+                    }
+                    if ref_key == key
+                        && !fk.columns.iter().any(|&c| row[c] == Value::Null)
+                    {
+                        let k = self.encode_key(oti, row);
+                        to_delete.push((oti, k));
+                    }
+                }
+            }
+        }
+        match mode {
+            DeleteMode::Restrict if !to_delete.is_empty() => {
+                return Err(DbError::RestrictViolation(format!(
+                    "{table}[{key}] referenced by {} rows",
+                    to_delete.len()
+                )))
+            }
+            _ => {}
+        }
+        let mut deleted = 0;
+        for (oti, k) in to_delete {
+            let name = self.schema.tables[oti].name.clone();
+            // The row may already be gone through another cascade path.
+            if self.data[oti].by_key.contains_key(&k) {
+                deleted += self.delete(&name, &k, DeleteMode::Cascade)?;
+            }
+        }
+        self.remove_row(ti, key);
+        Ok(deleted + 1)
+    }
+
+    fn remove_row(&mut self, ti: usize, key: &str) {
+        let idx = self.data[ti].by_key.remove(key).expect("row exists");
+        self.data[ti].rows.swap_remove(idx);
+        // Fix the index of the row that moved into `idx`.
+        if idx < self.data[ti].rows.len() {
+            let moved_key = self.encode_key(ti, &self.data[ti].rows[idx]);
+            self.data[ti].by_key.insert(moved_key, idx);
+        }
+    }
+
+    /// All encoded keys of a table (unordered).
+    pub fn keys(&self, table: &str) -> Vec<String> {
+        let ti = self.schema.table_index(table).expect("table");
+        self.data[ti].by_key.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, SchemaBuilder, TableBuilder};
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new()
+            .table(
+                TableBuilder::new("ligand")
+                    .column("ligand_id", ColumnType::Int)
+                    .column("name", ColumnType::Text)
+                    .nullable("comment", ColumnType::Text)
+                    .primary_key(&["ligand_id"]),
+            )
+            .table(
+                TableBuilder::new("interaction")
+                    .column("interaction_id", ColumnType::Int)
+                    .column("ligand_id", ColumnType::Int)
+                    .column("affinity", ColumnType::Float)
+                    .primary_key(&["interaction_id"])
+                    .foreign_key(&["ligand_id"], "ligand"),
+            )
+            .build()
+            .unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut d = db();
+        d.insert("ligand", vec![685.into(), "calcitonin".into(), Value::Null])
+            .unwrap();
+        assert_eq!(d.row_count("ligand"), 1);
+        let row = d.get("ligand", "685").unwrap();
+        assert_eq!(row[1], Value::Text("calcitonin".into()));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut d = db();
+        d.insert("ligand", vec![1.into(), "a".into(), Value::Null])
+            .unwrap();
+        let err = d
+            .insert("ligand", vec![1.into(), "b".into(), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn type_and_null_checks() {
+        let mut d = db();
+        let err = d
+            .insert("ligand", vec!["no".into(), "a".into(), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch(_)));
+        let err = d
+            .insert("ligand", vec![1.into(), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, DbError::NullViolation(_)));
+        let err = d.insert("ligand", vec![1.into()]).unwrap_err();
+        assert!(matches!(err, DbError::Arity { .. }));
+    }
+
+    #[test]
+    fn foreign_key_enforced() {
+        let mut d = db();
+        let err = d
+            .insert("interaction", vec![1.into(), 999.into(), 7.5.into()])
+            .unwrap_err();
+        assert!(matches!(err, DbError::ForeignKeyViolation(_)));
+        d.insert("ligand", vec![685.into(), "calcitonin".into(), Value::Null])
+            .unwrap();
+        d.insert("interaction", vec![1.into(), 685.into(), 7.5.into()])
+            .unwrap();
+    }
+
+    #[test]
+    fn delete_restrict_and_cascade() {
+        let mut d = db();
+        d.insert("ligand", vec![685.into(), "calcitonin".into(), Value::Null])
+            .unwrap();
+        d.insert("interaction", vec![1.into(), 685.into(), 7.5.into()])
+            .unwrap();
+        let err = d.delete("ligand", "685", DeleteMode::Restrict).unwrap_err();
+        assert!(matches!(err, DbError::RestrictViolation(_)));
+        let n = d.delete("ligand", "685", DeleteMode::Cascade).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(d.total_rows(), 0);
+    }
+
+    #[test]
+    fn update_non_key_column() {
+        let mut d = db();
+        d.insert("ligand", vec![685.into(), "calcitonin".into(), Value::Null])
+            .unwrap();
+        d.update("ligand", "685", "name", "calcitonin salmon".into())
+            .unwrap();
+        assert_eq!(
+            d.get("ligand", "685").unwrap()[1],
+            Value::Text("calcitonin salmon".into())
+        );
+        // Key updates rejected (keys are persistent, §5.2).
+        let err = d
+            .update("ligand", "685", "ligand_id", 9.into())
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn swap_remove_index_fixup() {
+        let mut d = db();
+        for i in 0..10i64 {
+            d.insert("ligand", vec![i.into(), format!("l{i}").into(), Value::Null])
+                .unwrap();
+        }
+        d.delete("ligand", "0", DeleteMode::Cascade).unwrap();
+        // Row 9 moved into slot 0; lookups must still work.
+        assert_eq!(
+            d.get("ligand", "9").unwrap()[1],
+            Value::Text("l9".into())
+        );
+        assert_eq!(d.row_count("ligand"), 9);
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal in-memory relational database with W3C Direct Mapping export
+//! to RDF.
+//!
+//! This is the substrate for reproducing the GtoPdb experiment of §5.2:
+//! a relational database of curated pharmacology data, exported to RDF
+//! "at different times by different services using similar export
+//! schemes", i.e. per-version URI prefixes over persistent primary keys.
+//!
+//! ```
+//! use rdf_relational::{SchemaBuilder, TableBuilder, ColumnType, Database,
+//!                      direct_mapping, MappingOptions};
+//! use rdf_model::Vocab;
+//!
+//! let schema = SchemaBuilder::new()
+//!     .table(TableBuilder::new("ligand")
+//!         .column("ligand_id", ColumnType::Int)
+//!         .column("name", ColumnType::Text)
+//!         .primary_key(&["ligand_id"]))
+//!     .build().unwrap();
+//! let mut db = Database::new(schema);
+//! db.insert("ligand", vec![685i64.into(), "calcitonin".into()]).unwrap();
+//!
+//! let mut vocab = Vocab::new();
+//! let export = direct_mapping(&db, &MappingOptions::new("http://g/v1/"), &mut vocab);
+//! assert!(vocab.find_uri("http://g/v1/ligand/685").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod direct_mapping;
+pub mod schema;
+
+pub use database::{Database, DbError, DeleteMode, Row, Value};
+pub use direct_mapping::{
+    direct_mapping, ground_truth, Export, MappingOptions, RDF_TYPE,
+};
+pub use schema::{
+    Column, ColumnType, ForeignKey, Schema, SchemaBuilder, SchemaError,
+    Table, TableBuilder,
+};

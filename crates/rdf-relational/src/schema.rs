@@ -1,0 +1,363 @@
+//! Relational schema: tables, typed columns, primary and foreign keys.
+//!
+//! The GtoPdb experiment (§5.2) exports a curated relational database to
+//! RDF. This module models the schema half: enough DDL to express
+//! multi-table databases with integrity constraints, so the W3C Direct
+//! Mapping (and its evolution over versions) can be reproduced
+//! faithfully.
+
+use std::fmt;
+
+/// Column data types (the direct mapping only needs lexical forms, so a
+/// small set suffices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// UTF-8 text.
+    Text,
+    /// Double-precision float.
+    Float,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Data type.
+    pub ty: ColumnType,
+    /// Whether NULL values are allowed.
+    pub nullable: bool,
+}
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `ref_columns` (the primary key) of `ref_table`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeignKey {
+    /// Referencing column indices in this table.
+    pub columns: Vec<usize>,
+    /// Referenced table index in the schema.
+    pub ref_table: usize,
+    /// Referenced column indices (must be `ref_table`'s primary key).
+    pub ref_columns: Vec<usize>,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name, unique within the schema.
+    pub name: String,
+    /// Ordered columns.
+    pub columns: Vec<Column>,
+    /// Primary-key column indices (non-empty).
+    pub primary_key: Vec<usize>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Table {
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+/// A database schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    /// Tables in definition order.
+    pub tables: Vec<Table>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of a table by name.
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// The table by name; panics if absent (builder convenience).
+    pub fn table(&self, name: &str) -> &Table {
+        &self.tables[self.table_index(name).unwrap_or_else(|| {
+            panic!("no table {name}")
+        })]
+    }
+}
+
+/// Errors in schema construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Table name already used.
+    DuplicateTable(String),
+    /// Column name already used in the table.
+    DuplicateColumn(String),
+    /// Primary key references a column out of range, is empty, or uses a
+    /// nullable column.
+    BadPrimaryKey(String),
+    /// Foreign key arity/target mismatch.
+    BadForeignKey(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateTable(t) => write!(f, "duplicate table {t}"),
+            SchemaError::DuplicateColumn(c) => {
+                write!(f, "duplicate column {c}")
+            }
+            SchemaError::BadPrimaryKey(m) => write!(f, "bad primary key: {m}"),
+            SchemaError::BadForeignKey(m) => write!(f, "bad foreign key: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Fluent builder for one table.
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+    primary_key: Vec<String>,
+    foreign_keys: Vec<(Vec<String>, String)>,
+}
+
+impl TableBuilder {
+    /// Start a table definition.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Add a non-nullable column.
+    pub fn column(mut self, name: &str, ty: ColumnType) -> Self {
+        self.columns.push(Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        });
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn nullable(mut self, name: &str, ty: ColumnType) -> Self {
+        self.columns.push(Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        });
+        self
+    }
+
+    /// Declare the primary key.
+    pub fn primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Declare a foreign key: `cols` reference the primary key of
+    /// `ref_table`.
+    pub fn foreign_key(mut self, cols: &[&str], ref_table: &str) -> Self {
+        self.foreign_keys.push((
+            cols.iter().map(|s| s.to_string()).collect(),
+            ref_table.into(),
+        ));
+        self
+    }
+}
+
+/// Fluent builder for a schema.
+#[derive(Default)]
+pub struct SchemaBuilder {
+    tables: Vec<TableBuilder>,
+}
+
+impl SchemaBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table.
+    pub fn table(mut self, t: TableBuilder) -> Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Validate and produce the schema.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        let mut schema = Schema::new();
+        // First pass: tables and columns.
+        for tb in &self.tables {
+            if schema.table_index(&tb.name).is_some() {
+                return Err(SchemaError::DuplicateTable(tb.name.clone()));
+            }
+            let mut cols: Vec<Column> = Vec::new();
+            for c in &tb.columns {
+                if cols.iter().any(|e| e.name == c.name) {
+                    return Err(SchemaError::DuplicateColumn(c.name.clone()));
+                }
+                cols.push(c.clone());
+            }
+            schema.tables.push(Table {
+                name: tb.name.clone(),
+                columns: cols,
+                primary_key: Vec::new(),
+                foreign_keys: Vec::new(),
+            });
+        }
+        // Second pass: keys (so FKs can reference later tables).
+        for (ti, tb) in self.tables.iter().enumerate() {
+            let pk: Vec<usize> = tb
+                .primary_key
+                .iter()
+                .map(|name| {
+                    schema.tables[ti].column_index(name).ok_or_else(|| {
+                        SchemaError::BadPrimaryKey(format!(
+                            "unknown column {name}"
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if pk.is_empty() {
+                return Err(SchemaError::BadPrimaryKey(format!(
+                    "table {} has no primary key",
+                    tb.name
+                )));
+            }
+            if pk.iter().any(|&c| schema.tables[ti].columns[c].nullable) {
+                return Err(SchemaError::BadPrimaryKey(format!(
+                    "table {} has a nullable key column",
+                    tb.name
+                )));
+            }
+            schema.tables[ti].primary_key = pk;
+            for (cols, ref_name) in &tb.foreign_keys {
+                let ref_table =
+                    schema.table_index(ref_name).ok_or_else(|| {
+                        SchemaError::BadForeignKey(format!(
+                            "unknown table {ref_name}"
+                        ))
+                    })?;
+                let columns: Vec<usize> = cols
+                    .iter()
+                    .map(|name| {
+                        schema.tables[ti].column_index(name).ok_or_else(|| {
+                            SchemaError::BadForeignKey(format!(
+                                "unknown column {name}"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let ref_columns = schema.tables[ref_table].primary_key.clone();
+                if ref_columns.len() != columns.len() {
+                    return Err(SchemaError::BadForeignKey(format!(
+                        "arity mismatch referencing {ref_name}"
+                    )));
+                }
+                schema.tables[ti].foreign_keys.push(ForeignKey {
+                    columns,
+                    ref_table,
+                    ref_columns,
+                });
+            }
+        }
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gtopdb_like() -> Schema {
+        SchemaBuilder::new()
+            .table(
+                TableBuilder::new("ligand")
+                    .column("ligand_id", ColumnType::Int)
+                    .column("name", ColumnType::Text)
+                    .nullable("comment", ColumnType::Text)
+                    .primary_key(&["ligand_id"]),
+            )
+            .table(
+                TableBuilder::new("interaction")
+                    .column("interaction_id", ColumnType::Int)
+                    .column("ligand_id", ColumnType::Int)
+                    .primary_key(&["interaction_id"])
+                    .foreign_key(&["ligand_id"], "ligand"),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_with_keys() {
+        let s = gtopdb_like();
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.table("ligand").primary_key, vec![0]);
+        let fk = &s.table("interaction").foreign_keys[0];
+        assert_eq!(fk.ref_table, 0);
+        assert_eq!(fk.columns, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let err = SchemaBuilder::new()
+            .table(TableBuilder::new("t").column("a", ColumnType::Int).primary_key(&["a"]))
+            .table(TableBuilder::new("t").column("a", ColumnType::Int).primary_key(&["a"]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateTable("t".into()));
+    }
+
+    #[test]
+    fn missing_primary_key_rejected() {
+        let err = SchemaBuilder::new()
+            .table(TableBuilder::new("t").column("a", ColumnType::Int))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::BadPrimaryKey(_)));
+    }
+
+    #[test]
+    fn nullable_pk_rejected() {
+        let err = SchemaBuilder::new()
+            .table(
+                TableBuilder::new("t")
+                    .nullable("a", ColumnType::Int)
+                    .primary_key(&["a"]),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::BadPrimaryKey(_)));
+    }
+
+    #[test]
+    fn unknown_fk_target_rejected() {
+        let err = SchemaBuilder::new()
+            .table(
+                TableBuilder::new("t")
+                    .column("a", ColumnType::Int)
+                    .primary_key(&["a"])
+                    .foreign_key(&["a"], "nope"),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::BadForeignKey(_)));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = gtopdb_like();
+        assert_eq!(s.table("ligand").column_index("name"), Some(1));
+        assert_eq!(s.table("ligand").column_index("nope"), None);
+    }
+}

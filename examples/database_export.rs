@@ -1,0 +1,144 @@
+//! Database export: aligning two RDF exports of the same relational
+//! database made under different URI schemes (the §5.2 scenario).
+//!
+//! Builds a small pharmacology database, evolves it one step, exports
+//! both versions through the W3C Direct Mapping with *different URI
+//! prefixes*, and shows that Hybrid/Overlap recover the correspondence
+//! although not a single URI is shared — the relational-view of the
+//! problem the paper describes: "change all the table names and column
+//! names and all the key values; all that is kept are the non-key data
+//! values and the foreign key constraints".
+//!
+//! Run with `cargo run --release --example database_export`.
+
+use rdf_align_repro::prelude::*;
+use rdf_relational::{
+    direct_mapping, ground_truth, Database, DeleteMode, MappingOptions,
+};
+
+fn main() {
+    // A hand-populated database (schema from the generator).
+    let mut db = Database::new(rdf_datagen::gtopdb_schema());
+    db.insert("family", vec![1i64.into(), "calcitonin receptors".into()])
+        .unwrap();
+    db.insert(
+        "target",
+        vec![
+            1i64.into(),
+            "calcitonin receptor".into(),
+            "CTR".into(),
+            "Human".into(),
+            1i64.into(),
+        ],
+    )
+    .unwrap();
+    for (id, name, kind) in [
+        (685i64, "calcitonin", "peptide"),
+        (686, "calcitonin gene related peptide", "peptide"),
+        (687, "amylin", "peptide"),
+        (1, "aspirin", "small molecule"),
+    ] {
+        db.insert(
+            "ligand",
+            vec![
+                id.into(),
+                name.into(),
+                kind.into(),
+                "Human".into(),
+                rdf_relational::Value::Null,
+                "yes".into(),
+            ],
+        )
+        .unwrap();
+    }
+    db.insert(
+        "interaction",
+        vec![1i64.into(), 685i64.into(), 1i64.into(), "agonist".into(), 9.2.into()],
+    )
+    .unwrap();
+
+    // Export version 1.
+    let mut vocab = Vocab::new();
+    let mut opt1 = MappingOptions::new("http://gtopdb.org/ver1/");
+    opt1.type_triples = false;
+    let e1 = direct_mapping(&db, &opt1, &mut vocab);
+
+    // Evolve: rename one ligand, delete another, insert a new one.
+    db.update("ligand", "687", "name", "amylin human".into()).unwrap();
+    db.delete("ligand", "1", DeleteMode::Cascade).unwrap();
+    db.insert(
+        "ligand",
+        vec![
+            900i64.into(),
+            "pramlintide".into(),
+            "peptide".into(),
+            "Human".into(),
+            rdf_relational::Value::Null,
+            "yes".into(),
+        ],
+    )
+    .unwrap();
+
+    // Export version 2 under a different prefix.
+    let mut opt2 = MappingOptions::new("http://pharma.example/2016/");
+    opt2.type_triples = false;
+    let e2 = direct_mapping(&db, &opt2, &mut vocab);
+
+    let gt = ground_truth(&e1, &e2);
+    let combined = CombinedGraph::union(&vocab, &e1.graph, &e2.graph);
+    println!(
+        "=== Two direct-mapping exports, zero shared URIs ===\n\
+         v1: {} triples under http://gtopdb.org/ver1/\n\
+         v2: {} triples under http://pharma.example/2016/\n\
+         ground truth: {} persistent entities\n",
+        e1.graph.triple_count(),
+        e2.graph.triple_count(),
+        gt.len()
+    );
+
+    let trivial = trivial_partition(&combined);
+    let hybrid = hybrid_partition(&combined).partition;
+    let overlap = overlap_align(&combined, &vocab, OverlapConfig::default())
+        .weighted
+        .partition;
+
+    for (name, partition) in [
+        ("Trivial", &trivial),
+        ("Hybrid", &hybrid),
+        ("Overlap", &overlap),
+    ] {
+        let counts = node_counts(partition, &combined);
+        let b = classify_matches(partition, &combined, &gt);
+        println!(
+            "{name:>8}: {} aligned classes | exact {} inclusive {} \
+             false {} missing {}",
+            counts.aligned_classes,
+            b.exact,
+            b.inclusive,
+            b.false_matches,
+            b.missing
+        );
+    }
+
+    // Show a named correspondence end to end.
+    let lig685_v1 = e1.entities["row:ligand:685"];
+    let lig685_v2 = e2.entities["row:ligand:685"];
+    let s = combined.from_source(lig685_v1);
+    let t = combined.from_target(lig685_v2);
+    println!(
+        "\ncalcitonin (ligand 685):\n  v1 URI {}\n  v2 URI {}\n  hybrid-aligned: {}",
+        vocab.text(combined.graph().label(s)),
+        vocab.text(combined.graph().label(t)),
+        hybrid.same_class(s, t)
+    );
+    let lig687_v1 = e1.entities["row:ligand:687"];
+    let lig687_v2 = e2.entities["row:ligand:687"];
+    let s = combined.from_source(lig687_v1);
+    let t = combined.from_target(lig687_v2);
+    println!(
+        "amylin (ligand 687, renamed to \"amylin human\"):\n  \
+         hybrid-aligned: {}\n  overlap-aligned: {}",
+        hybrid.same_class(s, t),
+        overlap.same_class(s, t),
+    );
+}

@@ -1,0 +1,129 @@
+//! Quickstart: the worked example of Figure 1.
+//!
+//! Two versions of a personal-information RDF graph: the first name is
+//! corrected, a middle name removed, and the university's URI changes
+//! from `ed-uni` to `uoe`. The example runs every alignment method and
+//! shows which pairs each one recovers:
+//!
+//! * label equality (Trivial) aligns the unchanged literals and `ss`;
+//! * bisimulation (Deblank) aligns the address records `b1 ~ b3`;
+//! * Hybrid aligns the renamed `ed-uni ~ uoe`;
+//! * the similarity measure `σ_Edit` aligns the name records `b2 ~ b4`.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rdf_align_repro::prelude::*;
+
+fn main() {
+    let mut vocab = Vocab::new();
+
+    // Version 1 (left of Figure 1).
+    let v1 = {
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        b.uub("ss", "address", "b1");
+        b.uuu("ss", "employer", "ed-uni");
+        b.uub("ss", "name", "b2");
+        b.bul("b1", "zip", "EH8");
+        b.bul("b1", "city", "Edinburgh");
+        b.uul("ed-uni", "name", "University of Edinburgh");
+        b.uul("ed-uni", "city", "Edinburgh");
+        b.bul("b2", "first", "Sławek");
+        b.bul("b2", "middle", "Paweł");
+        b.bul("b2", "last", "Staworko");
+        b.finish()
+    };
+
+    // Version 2 (right of Figure 1).
+    let v2 = {
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        b.uub("ss", "address", "b3");
+        b.uuu("ss", "employer", "uoe");
+        b.uub("ss", "name", "b4");
+        b.bul("b3", "zip", "EH8");
+        b.bul("b3", "city", "Edinburgh");
+        b.uul("uoe", "name", "University of Edinburgh");
+        b.uul("uoe", "city", "Edinburgh");
+        b.bul("b4", "first", "Sławomir");
+        b.bul("b4", "last", "Staworko");
+        b.finish()
+    };
+
+    let combined = CombinedGraph::union(&vocab, &v1, &v2);
+    let describe = |n: NodeId| -> String {
+        let g = combined.graph();
+        match vocab.resolve(g.label(n)) {
+            rdf_model::LabelRef::Blank => {
+                let (side, local) = combined.to_local(n);
+                let graph = match side {
+                    Side::Source => &v1,
+                    Side::Target => &v2,
+                };
+                format!("_:{}", graph.blank_name(local).unwrap_or("anon"))
+            }
+            other => other.to_string(),
+        }
+    };
+
+    println!("=== Figure 1: two versions of an evolving RDF graph ===\n");
+    println!(
+        "version 1: {} triples; version 2: {} triples\n",
+        v1.triple_count(),
+        v2.triple_count()
+    );
+
+    // 1. Trivial alignment.
+    let trivial = trivial_partition(&combined);
+    let view = AlignmentView::new(&trivial, &combined);
+    println!(
+        "Trivial (label equality) aligns {} pairs — every shared URI and \
+         literal, but no blanks:",
+        view.pair_count()
+    );
+    for (s, t) in view.pairs() {
+        println!(
+            "  {}  ~  {}",
+            describe(combined.from_source(s)),
+            describe(combined.from_target(t))
+        );
+    }
+
+    // 2. Deblank: bisimulation on blank nodes.
+    let deblank = deblank_partition(&combined).partition;
+    let view = AlignmentView::new(&deblank, &combined);
+    println!(
+        "\nDeblank adds the address records (same content, same structure):"
+    );
+    for (s, t) in view.pairs() {
+        let (gs, gt) =
+            (combined.from_source(s), combined.from_target(t));
+        if combined.graph().is_blank(gs) {
+            println!("  {}  ~  {}", describe(gs), describe(gt));
+        }
+    }
+
+    // 3. Hybrid: bisimulation on unaligned non-literals.
+    let hybrid = hybrid_partition(&combined).partition;
+    let view = AlignmentView::new(&hybrid, &combined);
+    println!("\nHybrid adds the renamed university URI:");
+    for (s, t) in view.pairs() {
+        let (gs, gt) =
+            (combined.from_source(s), combined.from_target(t));
+        if !deblank.same_class(gs, gt) {
+            println!("  {}  ~  {}", describe(gs), describe(gt));
+        }
+    }
+
+    // 4. σ_Edit: the similarity measure catches the edited name record.
+    let colors: Vec<u32> = hybrid.colors().iter().map(|c| c.0).collect();
+    let sigma =
+        SigmaEdit::compute(&combined, &vocab, &colors, SigmaEditConfig::default());
+    println!("\nσ_Edit (θ = 0.5) adds the edited name record and its literals:");
+    for (n, m, d) in sigma.align_threshold(0.5) {
+        println!("  {}  ~  {}   (distance {:.3})", describe(n), describe(m), d);
+    }
+
+    println!(
+        "\nThe hierarchy Align(Trivial) ⊆ Align(Deblank) ⊆ Align(Hybrid) \
+         held at every step."
+    );
+}

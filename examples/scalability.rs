@@ -1,0 +1,74 @@
+//! Scalability: alignment cost on a growing DBpedia-like category graph
+//! (the §5.3 scenario / Figure 16).
+//!
+//! Generates growing versions, times Trivial, Hybrid and Overlap on each
+//! consecutive pair, and reports the trend — the paper finds the cost
+//! "proportional to the size of the input graphs".
+//!
+//! Run with `cargo run --release --example scalability -- [scale]`.
+
+use rdf_align_repro::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let ds = generate_dbpedia(&DbpediaConfig::default().scaled(scale));
+
+    println!("=== DBpedia-like category subset, scale {scale} ===\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>11} {:>11} {:>11}",
+        "version", "nodes", "triples", "trivial", "hybrid", "overlap"
+    );
+    let mut first_hybrid = None;
+    let mut last_hybrid = None;
+    for i in 1..ds.len() {
+        let c = CombinedGraph::union(
+            &ds.vocab,
+            &ds.versions[i - 1].graph,
+            &ds.versions[i].graph,
+        );
+        let s = ds.versions[i].stats();
+
+        let t0 = Instant::now();
+        std::hint::black_box(trivial_partition(&c));
+        let t_trivial = t0.elapsed();
+
+        let t0 = Instant::now();
+        std::hint::black_box(hybrid_partition(&c));
+        let t_hybrid = t0.elapsed();
+
+        let t0 = Instant::now();
+        std::hint::black_box(overlap_align(
+            &c,
+            &ds.vocab,
+            OverlapConfig::default(),
+        ));
+        let t_overlap = t0.elapsed();
+
+        if first_hybrid.is_none() {
+            first_hybrid = Some((s.edges, t_hybrid));
+        }
+        last_hybrid = Some((s.edges, t_hybrid));
+        println!(
+            "{:>8} {:>9} {:>9} {:>9.1}ms {:>9.1}ms {:>9.1}ms",
+            i + 1,
+            s.nodes,
+            s.edges,
+            t_trivial.as_secs_f64() * 1e3,
+            t_hybrid.as_secs_f64() * 1e3,
+            t_overlap.as_secs_f64() * 1e3,
+        );
+    }
+
+    if let (Some((e0, t0)), Some((e1, t1))) = (first_hybrid, last_hybrid) {
+        let size_ratio = e1 as f64 / e0 as f64;
+        let time_ratio = t1.as_secs_f64() / t0.as_secs_f64().max(1e-9);
+        println!(
+            "\nGraph grew {size_ratio:.2}x; hybrid time grew {time_ratio:.2}x \
+             — the roughly-proportional trend of Figure 16."
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the reproduction of *RDF Graph Alignment with
+//! Bisimulation* (Buneman & Staworko, PVLDB 9(12), 2016).
+//!
+//! Re-exports the workspace crates under one roof and provides a
+//! [`prelude`] for the examples and integration tests.
+//!
+//! * [`rdf_model`] — triple graphs, labels, unions, ground truth;
+//! * [`rdf_io`] — N-Triples parser/serializer;
+//! * [`rdf_align`] — the paper's alignment methods;
+//! * [`rdf_edit`] — Levenshtein, Hungarian, `σ_Edit`, similarity flooding;
+//! * [`rdf_relational`] — relational database + W3C Direct Mapping;
+//! * [`rdf_datagen`] — synthetic evolving datasets with ground truth;
+//! * [`rdf_archive`] — compact multi-version archives built on alignments.
+
+#![warn(missing_docs)]
+
+pub use rdf_align;
+pub use rdf_archive;
+pub use rdf_datagen;
+pub use rdf_edit;
+pub use rdf_io;
+pub use rdf_model;
+pub use rdf_relational;
+
+/// Most-used items across the workspace.
+pub mod prelude {
+    pub use rdf_align::methods::{
+        deblank_partition, hybrid_partition, trivial_partition,
+    };
+    pub use rdf_align::metrics::{classify_matches, edge_stats, node_counts};
+    pub use rdf_align::overlap_align::{overlap_align, OverlapConfig};
+    pub use rdf_align::{AlignmentView, Partition, WeightedPartition};
+    pub use rdf_datagen::{
+        generate_dbpedia, generate_efo, generate_gtopdb, DbpediaConfig,
+        EfoConfig, GtopdbConfig,
+    };
+    pub use rdf_edit::sigma_edit::{SigmaEdit, SigmaEditConfig};
+    pub use rdf_model::{
+        CombinedGraph, GraphStats, GroundTruth, NodeId, RdfGraph,
+        RdfGraphBuilder, Side, Term, Vocab,
+    };
+}

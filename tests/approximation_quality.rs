@@ -1,0 +1,159 @@
+//! Approximation-quality tests: the overlap alignment is a *sound*
+//! approximation of `σ_Edit` (§4.7, Theorem 1) — everything it aligns is
+//! σ_Edit-close — and its incompleteness is bounded on realistic
+//! workloads.
+
+use rdf_align_repro::prelude::*;
+use rdf_edit::algebra::oplus;
+
+fn small_gtopdb() -> rdf_datagen::EvolvingDataset {
+    generate_gtopdb(&GtopdbConfig {
+        ligands: 25,
+        versions: 4,
+        ..GtopdbConfig::default()
+    })
+}
+
+#[test]
+fn theorem1_on_generated_data() {
+    // For every overlap-aligned pair: σ_Edit(n, m) ≤ ω(n) ⊕ ω(m).
+    let ds = small_gtopdb();
+    let c = CombinedGraph::union(
+        &ds.vocab,
+        &ds.versions[2].graph,
+        &ds.versions[3].graph,
+    );
+    let outcome = overlap_align(&c, &ds.vocab, OverlapConfig::default());
+    let xi = &outcome.weighted;
+    let hybrid = hybrid_partition(&c).partition;
+    let colors: Vec<u32> = hybrid.colors().iter().map(|x| x.0).collect();
+    let sigma = SigmaEdit::compute(
+        &c,
+        &ds.vocab,
+        &colors,
+        SigmaEditConfig {
+            epsilon: 1e-9,
+            max_iterations: 16,
+        },
+    );
+    let mut checked = 0;
+    let mut violations = 0;
+    for s in c.source_nodes() {
+        if c.graph().is_literal(s) {
+            continue;
+        }
+        for t in c.target_nodes() {
+            if c.graph().is_literal(t) {
+                continue;
+            }
+            if xi.partition.same_class(s, t) && !hybrid.same_class(s, t) {
+                // Newly overlap-aligned (beyond hybrid): the interesting
+                // pairs for the theorem.
+                checked += 1;
+                let bound = oplus(xi.weight(s), xi.weight(t));
+                if sigma.distance(s, t) > bound + 1e-9 {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 0, "the workload must exercise overlap-only pairs");
+    assert_eq!(
+        violations, 0,
+        "Theorem 1 violated on {violations}/{checked} pairs"
+    );
+}
+
+#[test]
+fn overlap_is_incomplete_but_close() {
+    // The weighted partition "only approximates the goal similarity
+    // measure and the resulting alignment may be incomplete" (§1) —
+    // σ_Edit at a generous threshold finds at least as many close pairs
+    // as overlap confirms.
+    let ds = small_gtopdb();
+    let c = CombinedGraph::union(
+        &ds.vocab,
+        &ds.versions[0].graph,
+        &ds.versions[1].graph,
+    );
+    let hybrid = hybrid_partition(&c).partition;
+    let colors: Vec<u32> = hybrid.colors().iter().map(|x| x.0).collect();
+    let sigma = SigmaEdit::compute(
+        &c,
+        &ds.vocab,
+        &colors,
+        SigmaEditConfig {
+            epsilon: 1e-9,
+            max_iterations: 16,
+        },
+    );
+    let theta = 0.65;
+    let sigma_pairs = sigma.align_threshold(theta).len();
+    let outcome = overlap_align(&c, &ds.vocab, OverlapConfig::default());
+    let xi = &outcome.weighted;
+    let mut overlap_new_pairs = 0;
+    for s in c.source_nodes() {
+        for t in c.target_nodes() {
+            if xi.partition.same_class(s, t) && !hybrid.same_class(s, t) {
+                overlap_new_pairs += 1;
+            }
+        }
+    }
+    assert!(
+        overlap_new_pairs <= sigma_pairs,
+        "overlap ({overlap_new_pairs}) must not exceed σ_Edit ({sigma_pairs})"
+    );
+    // ... but it should recover a meaningful share on this workload.
+    assert!(
+        overlap_new_pairs * 4 >= sigma_pairs,
+        "overlap {overlap_new_pairs} recovers too little of σ_Edit {sigma_pairs}"
+    );
+}
+
+#[test]
+fn flooding_baseline_ranks_true_pairs_highly() {
+    // The similarity-flooding baseline (related work) should rank the
+    // true partner above random others for most changed tuples — but
+    // needs the full quadratic matrix to do it, which is the paper's
+    // scalability argument against it.
+    let ds = generate_gtopdb(&GtopdbConfig {
+        ligands: 12,
+        versions: 2,
+        ..GtopdbConfig::default()
+    });
+    let c = CombinedGraph::union(
+        &ds.vocab,
+        &ds.versions[0].graph,
+        &ds.versions[1].graph,
+    );
+    let gt = ds.ground_truth(0, 1);
+    let flooding = rdf_edit::Flooding::compute(
+        &c,
+        &ds.vocab,
+        rdf_edit::FloodingConfig::default(),
+    );
+    let mut better = 0usize;
+    let mut total = 0usize;
+    for &(s_local, t_local) in gt.pairs() {
+        let s = c.from_source(s_local);
+        let t = c.from_target(t_local);
+        if !c.graph().is_uri(s) {
+            continue;
+        }
+        total += 1;
+        let true_sim = flooding.similarity(s, t);
+        // Compare against an arbitrary wrong partner.
+        let wrong = c
+            .target_nodes()
+            .find(|&m| m != t && c.graph().is_uri(m))
+            .unwrap();
+        if true_sim >= flooding.similarity(s, wrong) {
+            better += 1;
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        better * 2 >= total,
+        "flooding ranks true partner first on only {better}/{total}"
+    );
+}

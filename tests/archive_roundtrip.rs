@@ -1,0 +1,110 @@
+//! Archive integration: build multi-version archives over the synthetic
+//! datasets and verify exact reconstruction plus the §6 space claims.
+
+use rdf_align_repro::prelude::*;
+use rdf_align::variants::match_predicates_by_usage;
+use rdf_archive::Archive;
+use rdf_datagen::EvolvingDataset;
+
+fn build_archive(ds: &EvolvingDataset, use_overlap: bool) -> Archive {
+    let mut archive = Archive::new();
+    archive.push_first(ds.versions[0].graph.graph());
+    for w in ds.versions.windows(2) {
+        let combined =
+            CombinedGraph::union(&ds.vocab, &w[0].graph, &w[1].graph);
+        let base = if use_overlap {
+            overlap_align(&combined, &ds.vocab, OverlapConfig::default())
+                .weighted
+                .partition
+        } else {
+            hybrid_partition(&combined).partition
+        };
+        let matching = match_predicates_by_usage(&combined, &base, 0.5);
+        let partition = matching.apply(&base);
+        archive.push_aligned(w[1].graph.graph(), &combined, &partition);
+    }
+    archive
+}
+
+#[test]
+fn gtopdb_archive_reconstructs_every_version() {
+    let ds = generate_gtopdb(&GtopdbConfig {
+        ligands: 40,
+        ..GtopdbConfig::default()
+    });
+    let archive = build_archive(&ds, false);
+    for (v, version) in ds.versions.iter().enumerate() {
+        assert_eq!(
+            archive.version_triples(v as u32).len(),
+            version.graph.triple_count(),
+            "version {v}"
+        );
+    }
+}
+
+#[test]
+fn gtopdb_archive_compresses() {
+    let ds = generate_gtopdb(&GtopdbConfig {
+        ligands: 40,
+        ..GtopdbConfig::default()
+    });
+    let archive = build_archive(&ds, false);
+    let s = archive.space_stats();
+    assert!(
+        s.distinct_triples * 2 < s.naive_triples,
+        "interval storage must at least halve the naive size: {s:?}"
+    );
+    assert!(
+        s.factored_intervals < s.triple_intervals,
+        "subject factoring must reduce interval count: {s:?}"
+    );
+    // The paper's observation: most triples enter and leave with their
+    // subject.
+    assert!(
+        s.subject_covered_fraction() > 0.8,
+        "covered fraction {}",
+        s.subject_covered_fraction()
+    );
+}
+
+#[test]
+fn overlap_identity_shrinks_entity_count() {
+    // Overlap carries identity through edits, so fewer (or equal)
+    // canonical entities than hybrid-based identity.
+    let ds = generate_gtopdb(&GtopdbConfig {
+        ligands: 40,
+        ..GtopdbConfig::default()
+    });
+    let hybrid_archive = build_archive(&ds, false);
+    let overlap_archive = build_archive(&ds, true);
+    assert!(
+        overlap_archive.entity_count() <= hybrid_archive.entity_count(),
+        "overlap {} vs hybrid {}",
+        overlap_archive.entity_count(),
+        hybrid_archive.entity_count()
+    );
+    let sh = hybrid_archive.space_stats();
+    let so = overlap_archive.space_stats();
+    assert!(so.distinct_triples <= sh.distinct_triples);
+}
+
+#[test]
+fn efo_archive_survives_blank_churn() {
+    // EFO has duplicated bisimilar blanks: their classes are not 1-1, so
+    // they get fresh identity — reconstruction must still be exact.
+    let ds = generate_efo(&EfoConfig {
+        classes: 80,
+        versions: 5,
+        ..EfoConfig::default()
+    });
+    let archive = build_archive(&ds, false);
+    for (v, version) in ds.versions.iter().enumerate() {
+        assert_eq!(
+            archive.version_triples(v as u32).len(),
+            version.graph.triple_count(),
+            "version {v}"
+        );
+    }
+    let s = archive.space_stats();
+    assert!(s.distinct_triples < s.naive_triples);
+}

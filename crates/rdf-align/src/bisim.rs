@@ -68,11 +68,13 @@ pub fn partition_matches_relation(
     rel: &[Vec<bool>],
 ) -> bool {
     let n = partition.len();
-    for a in 0..n {
-        for b in 0..n {
+    assert_eq!(rel.len(), n, "relation matrix must cover every node");
+    for (a, row) in rel.iter().enumerate() {
+        assert_eq!(row.len(), n, "relation matrix must be square");
+        for (b, &related) in row.iter().enumerate() {
             let same =
                 partition.color(NodeId(a as u32)) == partition.color(NodeId(b as u32));
-            if same != rel[a][b] {
+            if same != related {
                 return false;
             }
         }

@@ -97,9 +97,9 @@ pub fn split_ngrams(text: &str, q: usize) -> Vec<u64> {
     }
     // Pad with q-1 sentinels on both ends so prefixes/suffixes weigh in.
     let mut padded: Vec<char> = Vec::with_capacity(chars.len() + 2 * (q - 1));
-    padded.extend(std::iter::repeat('\u{2}').take(q - 1));
+    padded.extend(std::iter::repeat_n('\u{2}', q - 1));
     padded.extend(&chars);
-    padded.extend(std::iter::repeat('\u{3}').take(q - 1));
+    padded.extend(std::iter::repeat_n('\u{3}', q - 1));
     let mut grams: Vec<u64> = padded
         .windows(q)
         .map(|w| hasher.hash_one(w))

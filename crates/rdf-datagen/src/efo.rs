@@ -229,7 +229,7 @@ fn render_version(
 
     let uri_of = |c: &ClassState, version: usize| -> String {
         let migrated = c.migrated
-            || c.vanish_window.map_or(false, |(_, hi)| {
+            || c.vanish_window.is_some_and(|(_, hi)| {
                 version > hi // reappears migrated
             }) && c.id % 16 == 1;
         if migrated {
@@ -242,7 +242,7 @@ fn render_version(
         c.alive
             && !c
                 .vanish_window
-                .map_or(false, |(lo, hi)| version >= lo && version <= hi)
+                .is_some_and(|(lo, hi)| version >= lo && version <= hi)
     };
 
     for c in classes {

@@ -203,7 +203,7 @@ fn insert_target(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
             c.target.into(),
             make_label(rng, 4).into(),
             make_label(rng, 1).into(),
-            ["Human", "Mouse", "Rat"][rng.gen_range(0..3)].into(),
+            ["Human", "Mouse", "Rat"][rng.gen_range(0..3usize)].into(),
             fam.into(),
         ],
     )
@@ -213,7 +213,7 @@ fn insert_target(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
 fn insert_ligand(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
     c.ligand += 1;
     let species: Value = if rng.gen_bool(0.7) {
-        ["Human", "Mouse", "Rat"][rng.gen_range(0..3)].into()
+        ["Human", "Mouse", "Rat"][rng.gen_range(0..3usize)].into()
     } else {
         Value::Null
     };
@@ -228,7 +228,7 @@ fn insert_ligand(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
             c.ligand.into(),
             { let n = rng.gen_range(2..4); make_label(rng, n) }.into(),
             ["peptide", "small molecule", "antibody", "protein"]
-                [rng.gen_range(0..4)]
+                [rng.gen_range(0..4usize)]
             .into(),
             species,
             comment,
@@ -268,7 +268,7 @@ fn insert_interaction(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
     let lig = sample_key(db, "ligand", rng);
     let tgt = sample_key(db, "target", rng);
     let affinity: Value = if rng.gen_bool(0.8) {
-        (rng.gen_range(4.0..11.0) as f64).into()
+        rng.gen_range::<f64, _>(4.0..11.0).into()
     } else {
         Value::Null
     };
@@ -279,7 +279,7 @@ fn insert_interaction(db: &mut Database, c: &mut Counters, rng: &mut SmallRng) {
             lig.into(),
             tgt.into(),
             ["agonist", "antagonist", "inhibitor", "activator"]
-                [rng.gen_range(0..4)]
+                [rng.gen_range(0..4usize)]
             .into(),
             affinity,
         ],

@@ -175,7 +175,7 @@ mod tests {
         let a = hungarian(&cost);
         assert!((a.cost - 5.0).abs() < 1e-9);
         // Assignment must be a permutation.
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for &c in &a.row_to_col {
             assert!(!seen[c]);
             seen[c] = true;

@@ -58,7 +58,7 @@ pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
         // ≤ bound; restrict to the band.
         let lo = i.saturating_sub(bound);
         let hi = (i + bound + 1).min(b.len());
-        curr[0] = if i + 1 <= bound { i + 1 } else { INF };
+        curr[0] = if i < bound { i + 1 } else { INF };
         let mut row_min = curr[0];
         for j in lo..hi {
             let cost = usize::from(ca != b[j]);
@@ -66,11 +66,10 @@ pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
             if prev[j + 1] + 1 < v {
                 v = prev[j + 1] + 1;
             }
-            if j >= lo.max(1) || lo == 0 {
-                if curr[j] + 1 < v {
+            if (j >= lo.max(1) || lo == 0)
+                && curr[j] + 1 < v {
                     v = curr[j] + 1;
                 }
-            }
             curr[j + 1] = v;
             row_min = row_min.min(v);
         }

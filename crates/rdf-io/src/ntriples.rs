@@ -339,12 +339,18 @@ fn escape_into(out: &mut String, s: &str, iri: bool) {
     }
 }
 
-/// Serialize a graph to N-Triples. Blank nodes use their recorded local
+/// Serialize a graph to canonical N-Triples: one statement per line,
+/// lines sorted lexicographically. Blank nodes use their recorded local
 /// names when available, otherwise `_:bN` from the node id.
+///
+/// Sorting makes the output independent of node-id assignment, so
+/// `write_graph(parse_graph(text)) == text` for any `text` this function
+/// produced — a byte-level fixed point, not just a structural one.
 pub fn write_graph(graph: &RdfGraph, vocab: &Vocab) -> String {
     let g = graph.graph();
-    let mut out = String::with_capacity(g.triple_count() * 64);
+    let mut lines: Vec<String> = Vec::with_capacity(g.triple_count());
     for t in g.triples() {
+        let mut out = String::with_capacity(64);
         for (i, n) in [t.s, t.p, t.o].into_iter().enumerate() {
             if i > 0 {
                 out.push(' ');
@@ -369,8 +375,10 @@ pub fn write_graph(graph: &RdfGraph, vocab: &Vocab) -> String {
             }
         }
         out.push_str(" .\n");
+        lines.push(out);
     }
-    out
+    lines.sort_unstable();
+    lines.concat()
 }
 
 /// Write a literal label, re-expanding folded `@lang` / `^^dt` suffixes.

@@ -15,7 +15,7 @@ use crate::label::{LabelId, LabelKind, Vocab};
 use std::fmt;
 
 /// A term as written in RDF source: the builder-facing view of a node.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// URI reference.
     Uri(String),
@@ -182,11 +182,8 @@ impl<'v> RdfGraphBuilder<'v> {
         o: NodeId,
     ) -> Result<(), RdfError> {
         use LabelKind::*;
-        match self.kind_of(s) {
-            Literal => {
-                return Err(RdfError::LiteralSubject(self.describe(s)));
-            }
-            _ => {}
+        if self.kind_of(s) == Literal {
+            return Err(RdfError::LiteralSubject(self.describe(s)));
         }
         match self.kind_of(p) {
             Literal => {
@@ -211,10 +208,7 @@ impl<'v> RdfGraphBuilder<'v> {
     ) -> Result<(), RdfError> {
         // Validate before interning nodes so a rejected triple does not
         // leave orphan nodes behind.
-        match s {
-            Term::Literal(l) => return Err(RdfError::LiteralSubject(l.clone())),
-            _ => {}
-        }
+        if let Term::Literal(l) = s { return Err(RdfError::LiteralSubject(l.clone())) }
         match p {
             Term::Literal(l) => {
                 return Err(RdfError::LiteralPredicate(l.clone()))

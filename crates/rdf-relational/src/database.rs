@@ -215,14 +215,14 @@ impl Database {
         }
         for (v, c) in row.iter().zip(&t.columns) {
             match v {
-                Value::Null => {
-                    if !c.nullable {
-                        return Err(DbError::NullViolation(format!(
-                            "{table}.{}",
-                            c.name
-                        )));
-                    }
+                Value::Null if !c.nullable => {
+                    return Err(DbError::NullViolation(format!(
+                        "{table}.{}",
+                        c.name
+                    )));
                 }
+                // A nullable NULL is always well-typed.
+                Value::Null => {}
                 v if !v.matches(c.ty) => {
                     return Err(DbError::TypeMismatch(format!(
                         "{table}.{} = {v:?}",
@@ -284,13 +284,13 @@ impl Database {
             ));
         }
         match &value {
-            Value::Null => {
-                if !t.columns[ci].nullable {
-                    return Err(DbError::NullViolation(format!(
-                        "{table}.{column}"
-                    )));
-                }
+            Value::Null if !t.columns[ci].nullable => {
+                return Err(DbError::NullViolation(format!(
+                    "{table}.{column}"
+                )));
             }
+            // A nullable NULL is always well-typed.
+            Value::Null => {}
             v if !v.matches(t.columns[ci].ty) => {
                 return Err(DbError::TypeMismatch(format!(
                     "{table}.{column} = {v:?}"

@@ -16,8 +16,8 @@ fn main() {
     println!("=== EFO-like evolving ontology: {} versions ===\n", ds.len());
 
     println!(
-        "{:>8} {:>7} {:>7} {:>9} {:>7}  {}",
-        "version", "URIs", "blanks", "literals", "edges", "blank share"
+        "{:>8} {:>7} {:>7} {:>9} {:>7}  blank share",
+        "version", "URIs", "blanks", "literals", "edges"
     );
     for (i, v) in ds.versions.iter().enumerate() {
         let s = v.stats();

@@ -188,10 +188,10 @@ proptest! {
         // Not worse than greedy.
         let mut taken = vec![false; cols];
         let mut greedy = 0.0;
-        for r in 0..rows {
+        for row in &cost {
             let (best, val) = (0..cols)
                 .filter(|&c| !taken[c])
-                .map(|c| (c, cost[r][c]))
+                .map(|c| (c, row[c]))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
             taken[best] = true;

@@ -1,0 +1,155 @@
+//! A tiny regex-like string generator backing `&str` strategies.
+//!
+//! Supported syntax — enough for patterns like `".{0,12}"` or
+//! `"[a-z]{1,8}"`:
+//!
+//! * `.` — any printable ASCII character;
+//! * `[abc]`, `[a-z0-9]` — character classes (no negation);
+//! * literal characters, with `\` escaping;
+//! * quantifiers `?`, `*`, `+`, `{n}`, `{a,b}` (bounded: `*`/`+` cap at 8).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Any,
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("dangling escape in pattern");
+                i += 1;
+                Atom::Literal(c)
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad quantifier"),
+                        b.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn draw(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => char::from(0x20 + rng.below(0x5f) as u8),
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total.max(1));
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ranges.first().map_or('?', |&(lo, _)| lo)
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(draw(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_from_pattern;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_generate_in_spec() {
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..200 {
+            let s = generate_from_pattern(".{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let t = generate_from_pattern("[a-c]{2,3}x?", &mut rng);
+            let stem: String = t.chars().take_while(|&c| c != 'x').collect();
+            assert!((2..=3).contains(&stem.chars().count()));
+            assert!(stem.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

@@ -56,20 +56,24 @@ impl SpaceStats {
 }
 
 /// A compact archive of all versions of an evolving RDF graph.
-#[derive(Debug, Default)]
+///
+/// `PartialEq` compares full archive state (versions, lifespans, label
+/// histories, triples, last mapping) — the identity that persistence
+/// round-trips must preserve.
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Archive {
-    num_versions: u32,
-    next_canon: u32,
+    pub(crate) num_versions: u32,
+    pub(crate) next_canon: u32,
     /// Canonical triple → versions where present.
-    triples: FxHashMap<(CanonId, CanonId, CanonId), IntervalSet>,
+    pub(crate) triples: FxHashMap<(CanonId, CanonId, CanonId), IntervalSet>,
     /// Entity lifespans.
-    lifespans: FxHashMap<CanonId, IntervalSet>,
+    pub(crate) lifespans: FxHashMap<CanonId, IntervalSet>,
     /// Label history per entity: change points `(version, label)`,
     /// ascending by version (renamed URIs share a canonical entity but
     /// change label).
-    labels: FxHashMap<CanonId, Vec<(u32, LabelId)>>,
+    pub(crate) labels: FxHashMap<CanonId, Vec<(u32, LabelId)>>,
     /// Node → canon mapping of the most recently pushed version.
-    last_mapping: Vec<CanonId>,
+    pub(crate) last_mapping: Vec<CanonId>,
 }
 
 impl Archive {

@@ -66,6 +66,27 @@ impl IntervalSet {
         &self.ranges
     }
 
+    /// Rebuild a set from stored ranges (deserialisation path). Ranges
+    /// must be non-empty, ascending, and non-adjacent — the canonical
+    /// form [`IntervalSet::push`] maintains — so equality with a freshly
+    /// built set is structural.
+    pub fn from_ranges(ranges: Vec<(u32, u32)>) -> Result<Self, &'static str> {
+        let mut prev_end: Option<u32> = None;
+        for &(s, e) in &ranges {
+            if s >= e {
+                return Err("empty interval range");
+            }
+            if let Some(pe) = prev_end {
+                if s <= pe {
+                    return Err("interval ranges must be ascending and \
+                                non-adjacent");
+                }
+            }
+            prev_end = Some(e);
+        }
+        Ok(IntervalSet { ranges })
+    }
+
     /// Iterate the individual versions.
     pub fn versions(&self) -> impl Iterator<Item = u32> + '_ {
         self.ranges.iter().flat_map(|&(s, e)| s..e)

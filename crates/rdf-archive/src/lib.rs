@@ -34,6 +34,10 @@
 
 pub mod archive;
 pub mod interval;
+pub mod persist;
 
 pub use archive::{Archive, CanonId, SpaceStats};
 pub use interval::IntervalSet;
+pub use persist::{
+    load_archive, load_archive_file, save_archive, save_archive_file,
+};

@@ -1,0 +1,144 @@
+//! Archive persistence round-trips through the `.rdfb` container:
+//! `load(save(archive)) == archive` under the new `PartialEq`, with the
+//! vocabulary's label ids preserved verbatim (label histories store raw
+//! ids, so a remap would silently rewrite history).
+
+use rdf_align::methods::hybrid_partition;
+use rdf_archive::{load_archive, save_archive, Archive};
+use rdf_model::{CombinedGraph, RdfGraph, RdfGraphBuilder, Vocab};
+use rdf_store::StoreError;
+
+/// Three versions with a URI rename and a dropped triple — enough to
+/// exercise multi-range intervals and label histories.
+fn three_versions() -> (Vocab, Vec<RdfGraph>) {
+    let mut vocab = Vocab::new();
+    let v1 = {
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        b.uul("old:x", "p", "stable");
+        b.uul("old:x", "q", "extra");
+        b.uub("old:x", "addr", "b1");
+        b.bul("b1", "zip", "EH8");
+        b.finish()
+    };
+    let v2 = {
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        b.uul("new:x", "p", "stable");
+        b.uul("new:x", "q", "extra");
+        b.uub("new:x", "addr", "b9");
+        b.bul("b9", "zip", "EH8");
+        b.finish()
+    };
+    let v3 = {
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        b.uul("new:x", "p", "stable");
+        b.finish()
+    };
+    (vocab, vec![v1, v2, v3])
+}
+
+fn build_archive(vocab: &Vocab, versions: &[RdfGraph]) -> Archive {
+    let mut archive = Archive::new();
+    archive.push_first(versions[0].graph());
+    for w in versions.windows(2) {
+        let combined = CombinedGraph::union(vocab, &w[0], &w[1]);
+        let partition = hybrid_partition(&combined).partition;
+        archive.push_aligned(w[1].graph(), &combined, &partition);
+    }
+    archive
+}
+
+fn save_to_bytes(vocab: &Vocab, archive: &Archive) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    save_archive(&mut bytes, vocab, archive).unwrap();
+    bytes
+}
+
+#[test]
+fn archive_round_trips_exactly() {
+    let (vocab, versions) = three_versions();
+    let archive = build_archive(&vocab, &versions);
+    let bytes = save_to_bytes(&vocab, &archive);
+
+    let (vocab2, archive2) = load_archive(&bytes).unwrap();
+    assert_eq!(archive, archive2);
+
+    // The dictionary must round-trip id-for-id.
+    assert_eq!(vocab2.len(), vocab.len());
+    for i in 0..vocab.len() {
+        let id = rdf_model::LabelId(i as u32);
+        assert_eq!(vocab2.kind(id), vocab.kind(id));
+        assert_eq!(vocab2.text(id), vocab.text(id));
+    }
+
+    // Reconstruction still works post-load: same per-version triple sets
+    // and space accounting.
+    for v in 0..versions.len() as u32 {
+        assert_eq!(archive2.version_triples(v), archive.version_triples(v));
+    }
+    assert_eq!(archive2.space_stats(), archive.space_stats());
+}
+
+#[test]
+fn empty_archive_round_trips() {
+    let vocab = Vocab::new();
+    let archive = Archive::new();
+    let bytes = save_to_bytes(&vocab, &archive);
+    let (_, archive2) = load_archive(&bytes).unwrap();
+    assert_eq!(archive, archive2);
+    assert_eq!(archive2.num_versions(), 0);
+}
+
+#[test]
+fn saving_is_deterministic() {
+    let (vocab, versions) = three_versions();
+    let archive = build_archive(&vocab, &versions);
+    assert_eq!(
+        save_to_bytes(&vocab, &archive),
+        save_to_bytes(&vocab, &archive)
+    );
+}
+
+#[test]
+fn graph_store_rejected_by_archive_loader() {
+    let (vocab, versions) = three_versions();
+    let bytes = rdf_store::graph_to_bytes(&vocab, &versions[0]).unwrap();
+    match load_archive(&bytes) {
+        Err(StoreError::WrongContentKind { found, expected }) => {
+            assert_eq!(found, rdf_store::KIND_GRAPH);
+            assert_eq!(expected, rdf_store::KIND_ARCHIVE);
+        }
+        other => panic!("expected WrongContentKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_archive_fails_loudly() {
+    let (vocab, versions) = three_versions();
+    let archive = build_archive(&vocab, &versions);
+    let bytes = save_to_bytes(&vocab, &archive);
+    // Truncations at arbitrary points are typed errors, never panics.
+    for cut in (0..bytes.len()).step_by(13) {
+        assert!(load_archive(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+    // A flipped payload byte trips a section checksum.
+    let mut corrupt = bytes.clone();
+    let target = rdf_store::container::HEADER_LEN
+        + rdf_store::container::SECTION_OVERHEAD
+        + 2;
+    corrupt[target] ^= 0x20;
+    assert!(matches!(
+        load_archive(&corrupt),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn archive_equality_is_meaningful() {
+    let (vocab, versions) = three_versions();
+    let a = build_archive(&vocab, &versions);
+    let b = build_archive(&vocab, &versions);
+    assert_eq!(a, b);
+    // Dropping the last version changes state.
+    let c = build_archive(&vocab, &versions[..2]);
+    assert_ne!(a, c);
+}

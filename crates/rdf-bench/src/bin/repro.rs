@@ -1,21 +1,33 @@
 //! `repro` — regenerate the paper's evaluation figures.
 //!
 //! ```text
-//! repro [FIGURE ...] [--scale F] [--theta T]
+//! repro [FIGURE ...] [--scale F] [--theta T] [--json-dir DIR]
 //!
 //! FIGURE: fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 | all
-//! --scale F   dataset scale factor (default 1.0; ~75 ≈ paper scale
-//!             for EFO, ~650 for DBpedia)
-//! --theta T   overlap threshold θ (default 0.65)
+//! --scale F     dataset scale factor (default 1.0; ~75 ≈ paper scale
+//!               for EFO, ~650 for DBpedia)
+//! --theta T     overlap threshold θ (default 0.65)
+//! --json-dir D  where BENCH_<figure>.json records are written
+//!               (default "."; "none" disables them)
 //! ```
+//!
+//! Besides the rendered text, every figure run records a machine-readable
+//! `BENCH_<figure>.json` (name, params, wall-time ms, node/triple counts
+//! of the workload) so the repo's perf trajectory is tracked over PRs.
 
 use rdf_bench::figures::{
     fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig9, ReproOptions,
+};
+use rdf_bench::BenchRecord;
+use rdf_datagen::{
+    generate_dbpedia, generate_efo, generate_gtopdb, DbpediaConfig,
+    EfoConfig, EvolvingDataset, GtopdbConfig,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = ReproOptions::default();
+    let mut json_dir = Some(".".to_string());
     let mut figures: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -32,8 +44,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--theta needs a number"));
             }
+            "--json-dir" => {
+                let dir = it
+                    .next()
+                    .unwrap_or_else(|| die("--json-dir needs a path"));
+                json_dir =
+                    (dir != "none").then(|| dir.clone());
+            }
             "--help" | "-h" => {
-                println!("usage: repro [fig9..fig16|all] [--scale F] [--theta T]");
+                println!(
+                    "usage: repro [fig9..fig16|all] [--scale F] [--theta T] \
+                     [--json-dir D|none]"
+                );
                 return;
             }
             f if f.starts_with("fig") || f == "all" => {
@@ -46,6 +68,7 @@ fn main() {
         figures = (9..=16).map(|i| format!("fig{i}")).collect();
     }
 
+    let mut counts = WorkloadCounts::default();
     for f in &figures {
         let start = std::time::Instant::now();
         let out = match f.as_str() {
@@ -59,8 +82,59 @@ fn main() {
             "fig16" => fig16(&opts),
             other => die(&format!("unknown figure {other}")),
         };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         println!("{out}");
-        eprintln!("[{f} took {:.2}s]\n", start.elapsed().as_secs_f64());
+        eprintln!("[{f} took {:.2}s]\n", wall_ms / 1e3);
+        if let Some(dir) = &json_dir {
+            let (nodes, triples) = counts.for_figure(f, &opts);
+            let record = BenchRecord::new(f.clone(), wall_ms)
+                .param("scale", opts.scale)
+                .param("theta", opts.theta)
+                .counts(nodes, triples);
+            match record.write_to(dir) {
+                Ok(path) => eprintln!("[wrote {}]", path.display()),
+                Err(e) => eprintln!("[BENCH json not written: {e}]"),
+            }
+        }
+    }
+}
+
+/// Lazily computed, memoised workload sizes per dataset family, so the
+/// JSON records don't pay a second full dataset generation per figure.
+#[derive(Default)]
+struct WorkloadCounts {
+    efo: Option<(usize, usize)>,
+    gtopdb: Option<(usize, usize)>,
+    dbpedia: Option<(usize, usize)>,
+}
+
+impl WorkloadCounts {
+    /// Total nodes/triples (summed across versions) of the dataset the
+    /// figure runs over.
+    fn for_figure(&mut self, figure: &str, opts: &ReproOptions) -> (usize, usize) {
+        let totals = |ds: &EvolvingDataset| {
+            ds.versions.iter().fold((0, 0), |(n, t), v| {
+                (n + v.graph.node_count(), t + v.graph.triple_count())
+            })
+        };
+        match figure {
+            "fig9" | "fig10" | "fig11" => *self.efo.get_or_insert_with(|| {
+                totals(&generate_efo(&EfoConfig::default().scaled(opts.scale)))
+            }),
+            "fig12" | "fig13" | "fig14" | "fig15" => {
+                *self.gtopdb.get_or_insert_with(|| {
+                    totals(&generate_gtopdb(
+                        &GtopdbConfig::default().scaled(opts.scale),
+                    ))
+                })
+            }
+            "fig16" => *self.dbpedia.get_or_insert_with(|| {
+                totals(&generate_dbpedia(
+                    &DbpediaConfig::default().scaled(opts.scale),
+                ))
+            }),
+            _ => (0, 0),
+        }
     }
 }
 

@@ -1,0 +1,130 @@
+//! `store_load` — measure loading a `.rdfb` store against re-parsing the
+//! equivalent N-Triples text, on the scale-1.0 EFO dataset.
+//!
+//! ```text
+//! store_load [--scale F] [--reps N] [--json-dir D|none]
+//! ```
+//!
+//! Writes `BENCH_store_load.json` with both timings and the speedup.
+//! The acceptance bar for the store subsystem is a ≥ 5× faster load;
+//! the binary exits non-zero below 1× (load slower than parse) so CI
+//! would catch a regression that large immediately.
+
+use rdf_bench::BenchRecord;
+use rdf_datagen::{generate_efo, EfoConfig};
+use rdf_io::{parse_graph, write_graph};
+use rdf_model::Vocab;
+use rdf_store::StoreReader;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut reps = 5usize;
+    let mut json_dir = Some(".".to_string());
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a count"));
+            }
+            "--json-dir" => {
+                let dir =
+                    it.next().unwrap_or_else(|| die("--json-dir needs a path"));
+                json_dir = (dir != "none").then(|| dir.clone());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: store_load [--scale F] [--reps N] \
+                     [--json-dir D|none]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    let reps = reps.max(1);
+
+    // Workload: the final version of the EFO-like dataset — the largest
+    // single graph of the paper's §5.1 workload family.
+    let ds = generate_efo(&EfoConfig::default().scaled(scale));
+    let version = ds.versions.last().expect("dataset has versions");
+    let text = write_graph(&version.graph, &ds.vocab);
+    let store_bytes =
+        rdf_store::graph_to_bytes(&ds.vocab, &version.graph).unwrap();
+    let nodes = version.graph.node_count();
+    let triples = version.graph.triple_count();
+    println!(
+        "workload: EFO scale {scale}, final version: {nodes} nodes, \
+         {triples} triples"
+    );
+    println!(
+        "  N-Triples {} bytes, .rdfb store {} bytes",
+        text.len(),
+        store_bytes.len()
+    );
+
+    // Re-parse path: tokenizing + interning the whole document.
+    let t0 = Instant::now();
+    let mut parsed_count = 0usize;
+    for _ in 0..reps {
+        let mut vocab = Vocab::new();
+        let g = parse_graph(&text, &mut vocab).unwrap();
+        parsed_count = g.triple_count();
+    }
+    let parse_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    // Store-load path: checksum + varint decode, no string hashing per
+    // node or triple. The reader is built once outside the loop so the
+    // timed region decodes (like the parse path reads `&text`) without
+    // an extra buffer copy per rep.
+    let reader = StoreReader::from_bytes(store_bytes.clone());
+    let t0 = Instant::now();
+    let mut loaded_count = 0usize;
+    for _ in 0..reps {
+        let (_, g) = reader.read_graph().unwrap();
+        loaded_count = g.triple_count();
+    }
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    assert_eq!(parsed_count, loaded_count, "both paths build the same graph");
+    let speedup = parse_ms / load_ms;
+    println!("  reparse: {parse_ms:.3} ms/iter ({reps} reps)");
+    println!("  load   : {load_ms:.3} ms/iter ({reps} reps)");
+    println!("  speedup: {speedup:.2}x");
+
+    if let Some(dir) = &json_dir {
+        let record = BenchRecord::new("store_load", load_ms)
+            .param("scale", scale)
+            .param("reps", reps)
+            .counts(nodes, triples)
+            .metric("parse_ms", parse_ms)
+            .metric("load_ms", load_ms)
+            .metric("speedup", speedup)
+            .metric("ntriples_bytes", text.len() as f64)
+            .metric("store_bytes", store_bytes.len() as f64);
+        match record.write_to(dir) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("BENCH json not written: {e}"),
+        }
+    }
+
+    if speedup < 1.0 {
+        eprintln!("store_load: loading is SLOWER than re-parsing");
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("store_load: {msg}");
+    std::process::exit(2)
+}

@@ -12,5 +12,7 @@
 
 pub mod figures;
 pub mod render;
+pub mod results;
 
 pub use figures::ReproOptions;
+pub use results::BenchRecord;

@@ -1,0 +1,137 @@
+//! `rdf` — the pipeline from the shell: N-Triples → store → alignment.
+//!
+//! ```text
+//! rdf import <input.nt> <output.rdfb>
+//! rdf export <input.rdfb> <output.nt>
+//! rdf info   <file.rdfb>
+//! rdf align  [--method trivial|deblank|hybrid|overlap] [--theta T] <source> <target>
+//! rdf gen    [--scale F] [--versions N] --out-dir DIR
+//! ```
+//!
+//! `align` inputs may be `.rdfb` stores or N-Triples files, mixed freely
+//! (format is sniffed from the magic bytes).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rdf <command> [options]
+
+commands:
+  import <input.nt> <output.rdfb>   parse N-Triples (streaming) into a store
+  export <input.rdfb> <output.nt>   write a store as canonical N-Triples
+  info   <file.rdfb>                header, counts, sections, checksums
+  align  [--method M] [--theta T] <source> <target>
+                                    align two graphs (stores or N-Triples);
+                                    M = trivial|deblank|hybrid|overlap
+                                    (default hybrid)
+  gen    [--scale F] [--versions N] --out-dir DIR
+                                    write seeded EFO-like N-Triples fixtures
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("rdf: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    match cmd.as_str() {
+        "import" => {
+            let [input, output] = two_paths(rest, "import")?;
+            rdf_cli::import(&input, &output).map_err(|e| e.to_string())
+        }
+        "export" => {
+            let [input, output] = two_paths(rest, "export")?;
+            rdf_cli::export(&input, &output).map_err(|e| e.to_string())
+        }
+        "info" => match rest {
+            [input] => rdf_cli::info(&PathBuf::from(input))
+                .map_err(|e| e.to_string()),
+            _ => Err("info takes exactly one file".into()),
+        },
+        "align" => {
+            let mut method = "hybrid".to_string();
+            let mut theta: Option<f64> = None;
+            let mut inputs: Vec<PathBuf> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--method" => {
+                        method = it
+                            .next()
+                            .ok_or("--method needs a value")?
+                            .clone();
+                    }
+                    "--theta" => {
+                        theta = Some(
+                            it.next()
+                                .ok_or("--theta needs a number")?
+                                .parse()
+                                .map_err(|_| "--theta needs a number")?,
+                        );
+                    }
+                    other => inputs.push(PathBuf::from(other)),
+                }
+            }
+            let [source, target]: [PathBuf; 2] = inputs
+                .try_into()
+                .map_err(|_| "align takes exactly two inputs")?;
+            let outcome = rdf_cli::align(&source, &target, &method, theta)
+                .map_err(|e| e.to_string())?;
+            Ok(outcome.render())
+        }
+        "gen" => {
+            let mut scale = 0.25f64;
+            let mut versions = 2usize;
+            let mut out_dir: Option<PathBuf> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--scale" => {
+                        scale = it
+                            .next()
+                            .ok_or("--scale needs a number")?
+                            .parse()
+                            .map_err(|_| "--scale needs a number")?;
+                    }
+                    "--versions" => {
+                        versions = it
+                            .next()
+                            .ok_or("--versions needs a count")?
+                            .parse()
+                            .map_err(|_| "--versions needs a count")?;
+                    }
+                    "--out-dir" => {
+                        out_dir = Some(PathBuf::from(
+                            it.next().ok_or("--out-dir needs a path")?,
+                        ));
+                    }
+                    other => {
+                        return Err(format!("unknown gen argument {other}"))
+                    }
+                }
+            }
+            let out_dir = out_dir.ok_or("gen requires --out-dir")?;
+            rdf_cli::gen(&out_dir, scale, versions).map_err(|e| e.to_string())
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn two_paths(rest: &[String], cmd: &str) -> Result<[PathBuf; 2], String> {
+    match rest {
+        [a, b] => Ok([PathBuf::from(a), PathBuf::from(b)]),
+        _ => Err(format!("{cmd} takes exactly two paths")),
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end smoke of the real `rdf` binary: gen → import → info →
+//! export → align, asserting the CLI's alignment metrics are *identical*
+//! to the in-process `pipeline::align` on the same inputs.
+
+use rdf_align::pipeline::{align as pipeline_align, Method};
+use rdf_model::Vocab;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rdf")
+}
+
+/// Run the binary; return stdout and assert the expected success state.
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "rdf {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "rdf {args:?} unexpectedly succeeded");
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("rdf-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn s(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+#[test]
+fn full_pipeline_matches_in_process_alignment() {
+    let dir = TempDir::new("pipeline");
+
+    // gen: two EFO-like versions.
+    let gen_out = run_ok(&[
+        "gen",
+        "--scale",
+        "0.2",
+        "--versions",
+        "2",
+        "--out-dir",
+        s(&dir.0),
+    ]);
+    assert!(gen_out.contains("efo-v1.nt"));
+    let v1_nt = dir.path("efo-v1.nt");
+    let v2_nt = dir.path("efo-v2.nt");
+
+    // import both into stores.
+    let v1_store = dir.path("v1.rdfb");
+    let v2_store = dir.path("v2.rdfb");
+    let import_out = run_ok(&["import", s(&v1_nt), s(&v1_store)]);
+    assert!(import_out.contains("nodes"));
+    run_ok(&["import", s(&v2_nt), s(&v2_store)]);
+
+    // info: validates checksums, reports counts.
+    let info_out = run_ok(&["info", s(&v1_store)]);
+    assert!(info_out.contains("checksums OK"));
+    assert!(info_out.contains("graph store"));
+    for tag in ["DICT", "NODE", "TRPL", "BNAM"] {
+        assert!(info_out.contains(tag), "info lists section {tag}");
+    }
+
+    // export: canonical N-Triples out of the store equals the canonical
+    // serialisation of the original file's parse.
+    let v1_back = dir.path("v1-back.nt");
+    run_ok(&["export", s(&v1_store), s(&v1_back)]);
+    let mut vfresh = Vocab::new();
+    let parsed = rdf_io::load_file(&v1_nt, &mut vfresh).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&v1_back).unwrap(),
+        rdf_io::write_graph(&parsed, &vfresh),
+        "export(import(x)) is the canonical form of x"
+    );
+
+    // align from the stores, via the binary.
+    let cli_report =
+        run_ok(&["align", "--method", "hybrid", s(&v1_store), s(&v2_store)]);
+    assert!(!cli_report.trim().is_empty());
+
+    // The same alignment in-process, from the original N-Triples.
+    let mut vocab = Vocab::new();
+    let g1 = rdf_io::load_file(&v1_nt, &mut vocab).unwrap();
+    let g2 = rdf_io::load_file(&v2_nt, &mut vocab).unwrap();
+    let a = pipeline_align(&vocab, &g1, &g2, Method::Hybrid);
+
+    // Metrics in the CLI report must match the in-process run exactly.
+    let expect = [
+        format!(
+            "aligned edge ratio    : {:.6} ({} / {} classes, {} common)",
+            a.edges.ratio(),
+            a.edges.source_classes,
+            a.edges.target_classes,
+            a.edges.common_classes
+        ),
+        format!(
+            "aligned edge instances: {} (source {}/{}, target {}/{})",
+            a.edges.aligned_instances(),
+            a.edges.aligned_source_edges,
+            a.edges.total_source_edges,
+            a.edges.aligned_target_edges,
+            a.edges.total_target_edges
+        ),
+        format!("aligned node classes  : {}", a.nodes.aligned_classes),
+        format!("unaligned nodes       : {}", a.unaligned.len()),
+    ];
+    for line in &expect {
+        assert!(
+            cli_report.contains(line),
+            "CLI report must contain {line:?}\n--- report ---\n{cli_report}"
+        );
+    }
+
+    // And the binary's stdout is exactly the library render.
+    let outcome =
+        rdf_cli::align(&v1_store, &v2_store, "hybrid", None).unwrap();
+    assert_eq!(cli_report, outcome.render());
+
+    // Aligning the raw N-Triples gives the same metrics as the stores
+    // (only the input paths in the heading differ).
+    let nt_report =
+        run_ok(&["align", "--method", "hybrid", s(&v1_nt), s(&v2_nt)]);
+    let metrics = |r: &str| {
+        r.lines()
+            .filter(|l| l.contains(':'))
+            .filter(|l| !l.contains("source:") && !l.contains("target:"))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(metrics(&cli_report), metrics(&nt_report));
+}
+
+#[test]
+fn align_supports_all_methods() {
+    let dir = TempDir::new("methods");
+    run_ok(&[
+        "gen",
+        "--scale",
+        "0.1",
+        "--versions",
+        "2",
+        "--out-dir",
+        s(&dir.0),
+    ]);
+    let v1 = dir.path("efo-v1.nt");
+    let v2 = dir.path("efo-v2.nt");
+    for method in ["trivial", "deblank", "hybrid", "overlap"] {
+        let report = run_ok(&["align", "--method", method, s(&v1), s(&v2)]);
+        assert!(report.contains(&format!("method = {method}")));
+    }
+    let report = run_ok(&[
+        "align",
+        "--method",
+        "overlap",
+        "--theta",
+        "0.5",
+        s(&v1),
+        s(&v2),
+    ]);
+    assert!(report.contains("aligned edge ratio"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_context() {
+    let dir = TempDir::new("errors");
+    // Missing file.
+    let err = run_err(&["info", s(&dir.path("absent.rdfb"))]);
+    assert!(err.contains("absent.rdfb"));
+    // Not a store.
+    let nt = dir.path("x.nt");
+    std::fs::write(&nt, "<u:s> <u:p> <u:o> .\n").unwrap();
+    let err = run_err(&["info", s(&nt)]);
+    assert!(err.contains("RDFB") || err.contains("magic"));
+    // Corrupt store: flip a payload byte.
+    let store = dir.path("x.rdfb");
+    run_ok(&["import", s(&nt), s(&store)]);
+    let mut bytes = std::fs::read(&store).unwrap();
+    let at = rdf_store::container::HEADER_LEN
+        + rdf_store::container::SECTION_OVERHEAD
+        + 1;
+    bytes[at] ^= 0xff;
+    std::fs::write(&store, bytes).unwrap();
+    let err = run_err(&["info", s(&store)]);
+    assert!(err.contains("checksum"), "got: {err}");
+    // Unknown method.
+    let err = run_err(&["align", "--method", "psychic", s(&nt), s(&nt)]);
+    assert!(err.contains("unknown method"));
+    // Malformed N-Triples reports position.
+    let bad = dir.path("bad.nt");
+    std::fs::write(&bad, "<u:s> <u:p> broken .\n").unwrap();
+    let err = run_err(&["import", s(&bad), s(&dir.path("bad.rdfb"))]);
+    assert!(err.contains("line 1"), "got: {err}");
+}
+
+#[test]
+fn import_rejects_archive_containers() {
+    let dir = TempDir::new("kind");
+    // Build an archive container and try to export it as a graph.
+    let vocab = Vocab::new();
+    let archive = rdf_archive::Archive::new();
+    rdf_archive::save_archive_file(dir.path("a.rdfb"), &vocab, &archive)
+        .unwrap();
+    let err = run_err(&[
+        "export",
+        s(&dir.path("a.rdfb")),
+        s(&dir.path("a.nt")),
+    ]);
+    assert!(err.contains("content kind"), "got: {err}");
+    // But info understands it.
+    let info_out = run_ok(&["info", s(&dir.path("a.rdfb"))]);
+    assert!(info_out.contains("archive"));
+}

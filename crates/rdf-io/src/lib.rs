@@ -23,21 +23,23 @@
 
 pub mod ntriples;
 
-pub use ntriples::{parse_graph, parse_triples, write_graph, ParseError};
+pub use ntriples::{
+    parse_graph, parse_graph_reader, parse_triples, write_graph, ParseError,
+    ReadError,
+};
 
 use rdf_model::{RdfGraph, Vocab};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
-/// Load an N-Triples file into a graph.
+/// Load an N-Triples file into a graph, streaming line by line (the file
+/// is never materialised as one `String`).
 pub fn load_file(
     path: impl AsRef<Path>,
     vocab: &mut Vocab,
 ) -> Result<RdfGraph, Box<dyn std::error::Error>> {
-    let mut buf = String::new();
-    std::io::BufReader::new(std::fs::File::open(path)?)
-        .read_to_string(&mut buf)?;
-    Ok(parse_graph(&buf, vocab)?)
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    Ok(parse_graph_reader(reader, vocab)?)
 }
 
 /// Save a graph to an N-Triples file (buffered).

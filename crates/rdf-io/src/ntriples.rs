@@ -12,6 +12,7 @@
 
 use rdf_model::{RdfGraph, RdfGraphBuilder, Term, Vocab};
 use std::fmt;
+use std::io::BufRead;
 
 /// Parse error with position information.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,17 +21,63 @@ pub struct ParseError {
     pub line: usize,
     /// 1-based column number.
     pub column: usize,
+    /// 0-based byte offset from the start of the document.
+    pub byte: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}, column {}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "line {}, column {} (byte {}): {}",
+            self.line, self.column, self.byte, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// Error from the streaming ([`BufRead`]) parsing entry points: either the
+/// underlying reader failed or the document is malformed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The reader returned an I/O error.
+    Io(std::io::Error),
+    /// The document failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+            ReadError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<ParseError> for ReadError {
+    fn from(e: ParseError) -> Self {
+        ReadError::Parse(e)
+    }
+}
 
 /// A single parsed line: subject, predicate, object terms.
 type ParsedTriple = (Term, Term, Term);
@@ -39,14 +86,17 @@ struct Cursor<'a> {
     text: &'a [u8],
     pos: usize,
     line: usize,
+    /// Byte offset of the start of this line within the document.
+    base: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(text: &'a str, line: usize) -> Self {
+    fn new(text: &'a str, line: usize, base: usize) -> Self {
         Cursor {
             text: text.as_bytes(),
             pos: 0,
             line,
+            base,
         }
     }
 
@@ -54,6 +104,7 @@ impl<'a> Cursor<'a> {
         ParseError {
             line: self.line,
             column: self.pos + 1,
+            byte: self.base + self.pos,
             message: message.into(),
         }
     }
@@ -291,11 +342,21 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Strip one trailing `\n` or `\r\n` (what [`BufRead::read_line`] leaves
+/// behind) from a line.
+fn trim_newline(line: &str) -> &str {
+    line.strip_suffix('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .unwrap_or(line)
+}
+
 /// Parse an N-Triples document into terms.
 pub fn parse_triples(input: &str) -> Result<Vec<ParsedTriple>, ParseError> {
     let mut out = Vec::new();
-    for (i, line) in input.lines().enumerate() {
-        let mut cur = Cursor::new(line, i + 1);
+    let mut base = 0usize;
+    for (i, raw) in input.split_inclusive('\n').enumerate() {
+        let mut cur = Cursor::new(trim_newline(raw), i + 1, base);
+        base += raw.len();
         if cur.at_end_or_comment() {
             continue;
         }
@@ -304,22 +365,56 @@ pub fn parse_triples(input: &str) -> Result<Vec<ParsedTriple>, ParseError> {
     Ok(out)
 }
 
+/// Parse N-Triples from any buffered reader, interning into the supplied
+/// vocabulary — the streaming ingest path.
+///
+/// Only one line is held in memory at a time, so arbitrarily large
+/// documents never materialise as a single `String`. Errors carry the
+/// real line/column/byte position, including RDF-convention violations
+/// (literal subject, blank or literal predicate), which the line-batched
+/// path could only attribute to a triple index.
+pub fn parse_graph_reader<R: BufRead>(
+    mut reader: R,
+    vocab: &mut Vocab,
+) -> Result<RdfGraph, ReadError> {
+    let mut b = RdfGraphBuilder::new(vocab);
+    let mut raw = String::new();
+    let mut line_no = 0usize;
+    let mut base = 0usize;
+    loop {
+        raw.clear();
+        let n = reader.read_line(&mut raw)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let mut cur = Cursor::new(trim_newline(&raw), line_no, base);
+        if !cur.at_end_or_comment() {
+            let (s, p, o) = cur.triple()?;
+            b.add_triple(&s, &p, &o).map_err(|e| ParseError {
+                line: line_no,
+                column: 1,
+                byte: base,
+                message: e.to_string(),
+            })?;
+        }
+        base += n;
+    }
+    Ok(b.finish())
+}
+
 /// Parse an N-Triples document directly into an [`RdfGraph`], interning
-/// into the supplied vocabulary.
+/// into the supplied vocabulary. Convenience wrapper over
+/// [`parse_graph_reader`] for in-memory input.
 pub fn parse_graph(
     input: &str,
     vocab: &mut Vocab,
 ) -> Result<RdfGraph, ParseError> {
-    let triples = parse_triples(input)?;
-    let mut b = RdfGraphBuilder::new(vocab);
-    for (i, (s, p, o)) in triples.iter().enumerate() {
-        b.add_triple(s, p, o).map_err(|e| ParseError {
-            line: i + 1,
-            column: 1,
-            message: e.to_string(),
-        })?;
-    }
-    Ok(b.finish())
+    parse_graph_reader(input.as_bytes(), vocab).map_err(|e| match e {
+        // Reading from a byte slice cannot fail.
+        ReadError::Io(io) => unreachable!("in-memory read failed: {io}"),
+        ReadError::Parse(p) => p,
+    })
 }
 
 /// Escape a string for inclusion in an IRI or literal.

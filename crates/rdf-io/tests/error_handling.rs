@@ -42,6 +42,55 @@ fn error_line_numbers_count_from_one() {
 }
 
 #[test]
+fn error_byte_offsets_locate_the_failure() {
+    // The bad term starts 12 bytes into line 3; the two preceding lines
+    // contribute 20 + 7 bytes (including newlines).
+    let doc = "<u:s> <u:p> <u:o> .\n# fine\n<u:s> <u:p> broken .\n";
+    let err = parse_triples(doc).unwrap_err();
+    assert_eq!(err.byte, 20 + 7 + 12);
+    assert_eq!(err.column, 13);
+    assert_eq!(&doc[err.byte..err.byte + 6], "broken");
+    // First-line errors: byte offset equals column - 1.
+    let err = parse_triples("<u:s> <u:p> .").unwrap_err();
+    assert_eq!(err.byte, err.column - 1);
+    // Display mentions the offset.
+    assert!(err.to_string().contains("byte"));
+}
+
+#[test]
+fn streaming_reader_matches_in_memory_parse() {
+    let doc = "<u:s> <u:p> \"v1\" .\r\n<u:s> <u:q> _:b .\n_:b <u:r> \"x\"@en .\n";
+    let mut v1 = rdf_model::Vocab::new();
+    let g1 = parse_graph(doc, &mut v1).unwrap();
+    let mut v2 = rdf_model::Vocab::new();
+    // A BufReader with a pathologically small buffer still yields whole
+    // lines via read_line; the graph must be identical.
+    let reader = std::io::BufReader::with_capacity(
+        4,
+        std::io::Cursor::new(doc.as_bytes()),
+    );
+    let g2 = rdf_io::parse_graph_reader(reader, &mut v2).unwrap();
+    assert_eq!(g1.triple_count(), g2.triple_count());
+    assert_eq!(g1.node_count(), g2.node_count());
+    assert_eq!(rdf_io::write_graph(&g1, &v1), rdf_io::write_graph(&g2, &v2));
+}
+
+#[test]
+fn streaming_reader_reports_convention_violations_with_position() {
+    let doc = "<u:s> <u:p> <u:o> .\n\"lit\" <u:p> <u:o> .\n";
+    let mut v = rdf_model::Vocab::new();
+    let err = rdf_io::parse_graph_reader(doc.as_bytes(), &mut v).unwrap_err();
+    match err {
+        rdf_io::ReadError::Parse(p) => {
+            assert_eq!(p.line, 2);
+            assert_eq!(p.byte, 20);
+            assert!(p.message.contains("subject"));
+        }
+        rdf_io::ReadError::Io(e) => panic!("unexpected io error: {e}"),
+    }
+}
+
+#[test]
 fn rdf_convention_violations_are_reported() {
     let mut v = Vocab::new();
     for (doc, needle) in [

@@ -158,7 +158,116 @@ impl TripleGraph {
     pub fn has_triple(&self, s: NodeId, p: NodeId, o: NodeId) -> bool {
         self.out(s).binary_search(&(p, o)).is_ok()
     }
+
+    /// The per-node label array (index = node id).
+    ///
+    /// Raw view for serialisers; pairs with [`TripleGraph::from_raw_parts`].
+    #[inline]
+    pub fn labels_raw(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// The per-node label-kind array (index = node id).
+    #[inline]
+    pub fn kinds_raw(&self) -> &[LabelKind] {
+        &self.kinds
+    }
+
+    /// Rebuild a graph from its raw parts without consulting a [`Vocab`]:
+    /// per-node labels, per-node kinds (must agree with the vocabulary the
+    /// labels were interned in), and the triple list.
+    ///
+    /// This is the deserialisation path of the on-disk store: label ids are
+    /// taken at face value, so no string hashing or interning happens per
+    /// node or per triple. Triples may arrive in any order; they are sorted
+    /// and deduplicated exactly as [`GraphBuilder::freeze`] would, so the
+    /// result is byte-identical to a fresh build from the same parts.
+    ///
+    /// Returns an error (not a panic) if the arrays are inconsistent:
+    /// `labels` and `kinds` lengths differ, or a triple references a node
+    /// id out of range.
+    pub fn from_raw_parts(
+        labels: Vec<LabelId>,
+        kinds: Vec<LabelKind>,
+        mut triples: Vec<Triple>,
+    ) -> Result<TripleGraph, RawPartsError> {
+        if labels.len() != kinds.len() {
+            return Err(RawPartsError::LengthMismatch {
+                labels: labels.len(),
+                kinds: kinds.len(),
+            });
+        }
+        let n = labels.len() as u32;
+        for t in &triples {
+            for node in [t.s, t.p, t.o] {
+                if node.0 >= n {
+                    return Err(RawPartsError::NodeOutOfRange {
+                        node: node.0,
+                        nodes: n,
+                    });
+                }
+            }
+        }
+        // Already-sorted input (the common case when loading a store that
+        // was written from a frozen graph) skips the sort.
+        if !triples.windows(2).all(|w| w[0] < w[1]) {
+            triples.sort_unstable();
+            triples.dedup();
+        }
+        let n = labels.len();
+        let mut out_index = vec![0u32; n + 1];
+        for t in &triples {
+            out_index[t.s.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_index[i + 1] += out_index[i];
+        }
+        let out_pairs: Vec<(NodeId, NodeId)> =
+            triples.iter().map(|t| (t.p, t.o)).collect();
+        Ok(TripleGraph {
+            labels,
+            kinds,
+            triples,
+            out_index,
+            out_pairs,
+        })
+    }
 }
+
+/// Inconsistency detected by [`TripleGraph::from_raw_parts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawPartsError {
+    /// The label and kind arrays have different lengths.
+    LengthMismatch {
+        /// Length of the label array.
+        labels: usize,
+        /// Length of the kind array.
+        kinds: usize,
+    },
+    /// A triple references a node id beyond the node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The number of nodes.
+        nodes: u32,
+    },
+}
+
+impl fmt::Display for RawPartsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RawPartsError::LengthMismatch { labels, kinds } => write!(
+                f,
+                "label array has {labels} entries but kind array has {kinds}"
+            ),
+            RawPartsError::NodeOutOfRange { node, nodes } => {
+                write!(f, "triple references node {node} of {nodes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RawPartsError {}
 
 /// Mutable builder for [`TripleGraph`].
 #[derive(Debug, Default, Clone)]
@@ -330,5 +439,56 @@ mod tests {
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.triple_count(), 0);
         assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let (_, g) = tiny();
+        let g2 = TripleGraph::from_raw_parts(
+            g.labels_raw().to_vec(),
+            g.kinds_raw().to_vec(),
+            g.triples().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(g.labels_raw(), g2.labels_raw());
+        assert_eq!(g.kinds_raw(), g2.kinds_raw());
+        assert_eq!(g.triples(), g2.triples());
+        for n in g.nodes() {
+            assert_eq!(g.out(n), g2.out(n));
+        }
+    }
+
+    #[test]
+    fn raw_parts_sorts_and_dedups_unsorted_input() {
+        let (_, g) = tiny();
+        let mut scrambled = g.triples().to_vec();
+        scrambled.reverse();
+        scrambled.push(scrambled[0]);
+        let g2 = TripleGraph::from_raw_parts(
+            g.labels_raw().to_vec(),
+            g.kinds_raw().to_vec(),
+            scrambled,
+        )
+        .unwrap();
+        assert_eq!(g.triples(), g2.triples());
+    }
+
+    #[test]
+    fn raw_parts_rejects_inconsistencies() {
+        let (_, g) = tiny();
+        let err = TripleGraph::from_raw_parts(
+            g.labels_raw().to_vec(),
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RawPartsError::LengthMismatch { .. }));
+        let err = TripleGraph::from_raw_parts(
+            g.labels_raw().to_vec(),
+            g.kinds_raw().to_vec(),
+            vec![Triple::new(NodeId(0), NodeId(1), NodeId(99))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RawPartsError::NodeOutOfRange { .. }));
     }
 }

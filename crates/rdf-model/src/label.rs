@@ -177,6 +177,49 @@ impl Vocab {
     pub fn text(&self, id: LabelId) -> &str {
         &self.texts[id.index()]
     }
+
+    /// Rebuild a vocabulary from parallel kind/text arrays, as read back
+    /// from an on-disk dictionary.
+    ///
+    /// The intern maps are repopulated in one pass over the dictionary —
+    /// `O(|dictionary|)` string hashes, independent of how many nodes or
+    /// triples reference the labels — so a store load never hashes per
+    /// triple. Entry 0 must be the blank label; URI/literal texts must be
+    /// unique within their namespace (a duplicate would make ids ambiguous
+    /// for later interning).
+    pub fn from_raw_parts(
+        kinds: Vec<LabelKind>,
+        texts: Vec<String>,
+    ) -> Result<Vocab, &'static str> {
+        if kinds.len() != texts.len() {
+            return Err("kind and text arrays differ in length");
+        }
+        if kinds.first() != Some(&LabelKind::Blank) {
+            return Err("dictionary entry 0 must be the blank label");
+        }
+        let mut uri_map = FxHashMap::default();
+        let mut literal_map = FxHashMap::default();
+        for (i, (kind, text)) in kinds.iter().zip(&texts).enumerate() {
+            let id = LabelId(i as u32);
+            let clash = match kind {
+                LabelKind::Blank if i == 0 => None,
+                LabelKind::Blank => {
+                    return Err("blank label appears after entry 0")
+                }
+                LabelKind::Uri => uri_map.insert(text.clone(), id),
+                LabelKind::Literal => literal_map.insert(text.clone(), id),
+            };
+            if clash.is_some() {
+                return Err("duplicate label text within a namespace");
+            }
+        }
+        Ok(Vocab {
+            kinds,
+            texts,
+            uri_map,
+            literal_map,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +275,44 @@ mod tests {
         assert_eq!(v.resolve(l), LabelRef::Literal("A literal with spaces"));
         assert_eq!(v.resolve(u).text(), Some("http://e.org/x"));
         assert_eq!(v.resolve(LabelId::BLANK).text(), None);
+    }
+
+    #[test]
+    fn raw_parts_rebuild_intern_maps() {
+        let mut v = Vocab::new();
+        let u = v.uri("u:x");
+        let l = v.literal("x");
+        let kinds: Vec<LabelKind> =
+            (0..v.len()).map(|i| v.kind(LabelId(i as u32))).collect();
+        let texts: Vec<String> = (0..v.len())
+            .map(|i| v.text(LabelId(i as u32)).to_owned())
+            .collect();
+        let mut v2 = Vocab::from_raw_parts(kinds, texts).unwrap();
+        assert_eq!(v2.find_uri("u:x"), Some(u));
+        assert_eq!(v2.find_literal("x"), Some(l));
+        // Further interning continues from the rebuilt state.
+        assert_eq!(v2.uri("u:x"), u);
+        assert_eq!(v2.uri("u:new"), LabelId(v.len() as u32));
+    }
+
+    #[test]
+    fn raw_parts_reject_bad_dictionaries() {
+        assert!(Vocab::from_raw_parts(vec![LabelKind::Blank], vec![]).is_err());
+        assert!(Vocab::from_raw_parts(
+            vec![LabelKind::Uri],
+            vec!["x".into()]
+        )
+        .is_err());
+        assert!(Vocab::from_raw_parts(
+            vec![LabelKind::Blank, LabelKind::Blank],
+            vec![String::new(), String::new()]
+        )
+        .is_err());
+        assert!(Vocab::from_raw_parts(
+            vec![LabelKind::Blank, LabelKind::Uri, LabelKind::Uri],
+            vec![String::new(), "dup".into(), "dup".into()]
+        )
+        .is_err());
     }
 
     #[test]

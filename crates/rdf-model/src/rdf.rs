@@ -82,6 +82,21 @@ pub struct RdfGraph {
 }
 
 impl RdfGraph {
+    /// Assemble an RDF graph from an already-built triple graph and its
+    /// blank-node names (deserialisation path; the builder invariants are
+    /// assumed to have held when the graph was first built).
+    pub fn from_raw_parts(
+        graph: TripleGraph,
+        blank_names: FxHashMap<NodeId, String>,
+    ) -> Self {
+        RdfGraph { graph, blank_names }
+    }
+
+    /// All recorded blank-node names, keyed by node id.
+    pub fn blank_names(&self) -> &FxHashMap<NodeId, String> {
+        &self.blank_names
+    }
+
     /// The underlying triple graph.
     #[inline]
     pub fn graph(&self) -> &TripleGraph {

@@ -1,0 +1,332 @@
+//! Saving and loading a dictionary-encoded [`TripleGraph`] (`.rdfb`,
+//! content kind [`KIND_GRAPH`]).
+//!
+//! A graph container holds four sections:
+//!
+//! | tag    | content |
+//! |--------|---------|
+//! | `DICT` | label dictionary: kind tag + length-prefixed UTF-8 text per label (entry 0, the blank label, is implicit) |
+//! | `NODE` | per-node dictionary ids (varint) |
+//! | `TRPL` | sorted `(s, p, o)` triples, varint-delta encoded |
+//! | `BNAM` | document-local blank-node names (delta node id + text) |
+//!
+//! Labels are remapped to *dense* ids in ascending first-use order before
+//! writing, so a store written from a freshly parsed graph has exactly
+//! the parse's interning order, and `load(save(parse(text)))` rebuilds a
+//! graph byte-identical to `parse(text)` — same node ids, same label ids,
+//! same CSR layout — without hashing a single string per node or triple.
+
+use crate::container::{
+    Container, ContainerWriter, Header, KIND_GRAPH, SECTION_OVERHEAD,
+};
+use crate::dict::{read_dict, read_string, write_dict};
+use crate::error::StoreError;
+use crate::varint::{
+    read_varint_u32, read_varint_usize, write_varint,
+};
+use rdf_model::{
+    FxHashMap, LabelId, NodeId, RdfGraph, Triple, TripleGraph, Vocab,
+};
+use std::io::Write;
+use std::path::Path;
+
+const TAG_DICT: [u8; 4] = *b"DICT";
+const TAG_NODE: [u8; 4] = *b"NODE";
+const TAG_TRPL: [u8; 4] = *b"TRPL";
+const TAG_BNAM: [u8; 4] = *b"BNAM";
+
+/// Writes graph containers to any [`Write`] sink.
+#[derive(Debug)]
+pub struct StoreWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> StoreWriter<W> {
+    /// Wrap a sink.
+    pub fn new(out: W) -> Self {
+        StoreWriter { out }
+    }
+
+    /// Serialise one graph (with the vocabulary its labels live in) and
+    /// return the sink.
+    pub fn write_graph(
+        mut self,
+        vocab: &Vocab,
+        graph: &RdfGraph,
+    ) -> Result<W, StoreError> {
+        let g = graph.graph();
+
+        // Remap the graph's label ids onto a dense dictionary: 0 stays the
+        // blank label, the rest keep their relative (= first-interned)
+        // order. A graph parsed into a fresh vocab maps identically.
+        let mut used: Vec<LabelId> = g.labels_raw().to_vec();
+        used.sort_unstable();
+        used.dedup();
+        if used.first() != Some(&LabelId::BLANK) {
+            used.insert(0, LabelId::BLANK);
+        }
+        let mut dense = vec![u32::MAX; vocab.len()];
+        for (new, old) in used.iter().enumerate() {
+            dense[old.index()] = new as u32;
+        }
+
+        let mut dict = Vec::new();
+        write_dict(&mut dict, vocab, used[1..].iter().copied())?;
+
+        let mut nodes = Vec::new();
+        write_varint(&mut nodes, g.node_count() as u64);
+        for &label in g.labels_raw() {
+            write_varint(&mut nodes, u64::from(dense[label.index()]));
+        }
+
+        let mut trpl = Vec::new();
+        write_varint(&mut trpl, g.triple_count() as u64);
+        let (mut prev_s, mut prev_p, mut prev_o) = (0u32, 0u32, 0u32);
+        for t in g.triples() {
+            let ds = t.s.0 - prev_s;
+            if ds > 0 {
+                prev_p = 0;
+                prev_o = 0;
+            }
+            let dp = t.p.0 - prev_p;
+            if dp > 0 {
+                prev_o = 0;
+            }
+            let dobj = t.o.0 - prev_o;
+            write_varint(&mut trpl, u64::from(ds));
+            write_varint(&mut trpl, u64::from(dp));
+            write_varint(&mut trpl, u64::from(dobj));
+            (prev_s, prev_p, prev_o) = (t.s.0, t.p.0, t.o.0);
+        }
+
+        let mut names: Vec<(NodeId, &str)> = graph
+            .blank_names()
+            .iter()
+            .map(|(&n, s)| (n, s.as_str()))
+            .collect();
+        names.sort_unstable_by_key(|&(n, _)| n);
+        let mut bnam = Vec::new();
+        write_varint(&mut bnam, names.len() as u64);
+        let mut prev = 0u32;
+        for (n, name) in names {
+            write_varint(&mut bnam, u64::from(n.0 - prev));
+            prev = n.0;
+            write_varint(&mut bnam, name.len() as u64);
+            bnam.extend_from_slice(name.as_bytes());
+        }
+
+        let counts =
+            [used.len() as u64, g.node_count() as u64, g.triple_count() as u64];
+        let mut w = ContainerWriter::new();
+        w.section(TAG_DICT, dict)
+            .section(TAG_NODE, nodes)
+            .section(TAG_TRPL, trpl)
+            .section(TAG_BNAM, bnam);
+        w.finish(&mut self.out, KIND_GRAPH, counts)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reads graph containers from an in-memory image of the file.
+#[derive(Debug)]
+pub struct StoreReader {
+    bytes: Vec<u8>,
+}
+
+/// Summary of a container, as shown by `rdf info`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Parsed fixed header.
+    pub header: Header,
+    /// Total file size in bytes.
+    pub file_bytes: usize,
+    /// `(tag, payload bytes)` per section, in file order. Present only
+    /// after full validation — every listed section passed its checksum.
+    pub sections: Vec<(String, usize)>,
+}
+
+impl StoreReader {
+    /// Read a container file fully into memory.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Ok(StoreReader {
+            bytes: std::fs::read(path)?,
+        })
+    }
+
+    /// Wrap an already-loaded byte buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        StoreReader { bytes }
+    }
+
+    /// Validate the whole container (header, framing, checksums) and
+    /// summarise it. Works for any content kind.
+    pub fn info(&self) -> Result<StoreInfo, StoreError> {
+        let c = Container::parse(&self.bytes)?;
+        Ok(StoreInfo {
+            header: *c.header(),
+            file_bytes: self.bytes.len(),
+            sections: c
+                .sections()
+                .iter()
+                .map(|(tag, p)| {
+                    (
+                        String::from_utf8_lossy(tag).into_owned(),
+                        p.len() + SECTION_OVERHEAD,
+                    )
+                })
+                .collect(),
+        })
+    }
+
+    /// Decode the graph and its dictionary.
+    ///
+    /// The returned [`Vocab`] contains exactly the store's dictionary
+    /// (dense ids, blank label at 0); the graph's label ids index it
+    /// directly. No string is hashed per node or triple — only the one
+    /// pass that rebuilds the vocabulary's intern maps from the
+    /// dictionary.
+    pub fn read_graph(&self) -> Result<(Vocab, RdfGraph), StoreError> {
+        let c = Container::parse(&self.bytes)?;
+        let header = *c.header();
+        if header.kind != KIND_GRAPH {
+            return Err(StoreError::WrongContentKind {
+                found: header.kind,
+                expected: KIND_GRAPH,
+            });
+        }
+
+        // DICT → Vocab.
+        let dict = c.section(TAG_DICT)?;
+        let mut pos = 0usize;
+        let vocab = read_dict(dict, &mut pos)?;
+        if vocab.len() as u64 != header.counts[0] {
+            return Err(StoreError::Corrupt(format!(
+                "dictionary count {} disagrees with header {}",
+                vocab.len(),
+                header.counts[0]
+            )));
+        }
+
+        // NODE → per-node labels + kinds.
+        let node = c.section(TAG_NODE)?;
+        let mut pos = 0usize;
+        let node_count = read_varint_usize(node, &mut pos)?;
+        if node_count as u64 != header.counts[1] {
+            return Err(StoreError::Corrupt(format!(
+                "node count {} disagrees with header {}",
+                node_count, header.counts[1]
+            )));
+        }
+        // Counts are untrusted: reserve no more than the payload could
+        // encode (>= 1 byte per node), however large the claim.
+        let cap = node_count.min(node.len() - pos);
+        let mut labels = Vec::with_capacity(cap);
+        let mut node_kinds = Vec::with_capacity(cap);
+        for _ in 0..node_count {
+            let id = read_varint_u32(node, &mut pos)?;
+            if id as usize >= vocab.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "node label id {id} beyond dictionary of {}",
+                    vocab.len()
+                )));
+            }
+            let label = LabelId(id);
+            labels.push(label);
+            node_kinds.push(vocab.kind(label));
+        }
+
+        // TRPL → triples (delta decode mirrors the writer exactly).
+        let trpl = c.section(TAG_TRPL)?;
+        let mut pos = 0usize;
+        let triple_count = read_varint_usize(trpl, &mut pos)?;
+        if triple_count as u64 != header.counts[2] {
+            return Err(StoreError::Corrupt(format!(
+                "triple count {} disagrees with header {}",
+                triple_count, header.counts[2]
+            )));
+        }
+        // >= 3 bytes per triple, so cap the reservation the same way.
+        let mut triples =
+            Vec::with_capacity(triple_count.min((trpl.len() - pos) / 3 + 1));
+        let (mut s, mut p, mut o) = (0u32, 0u32, 0u32);
+        for _ in 0..triple_count {
+            let ds = read_varint_u32(trpl, &mut pos)?;
+            if ds > 0 {
+                p = 0;
+                o = 0;
+            }
+            let dp = read_varint_u32(trpl, &mut pos)?;
+            if dp > 0 {
+                o = 0;
+            }
+            let dobj = read_varint_u32(trpl, &mut pos)?;
+            s = s.checked_add(ds).ok_or_else(overflow)?;
+            p = p.checked_add(dp).ok_or_else(overflow)?;
+            o = o.checked_add(dobj).ok_or_else(overflow)?;
+            triples.push(Triple::new(NodeId(s), NodeId(p), NodeId(o)));
+        }
+        let graph = TripleGraph::from_raw_parts(labels, node_kinds, triples)
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        if graph.triple_count() != triple_count {
+            return Err(StoreError::Corrupt(
+                "duplicate triples in store".into(),
+            ));
+        }
+
+        // BNAM → blank-node names.
+        let bnam = c.section(TAG_BNAM)?;
+        let mut pos = 0usize;
+        let name_count = read_varint_usize(bnam, &mut pos)?;
+        let mut blank_names = FxHashMap::default();
+        let mut prev = 0u32;
+        for i in 0..name_count {
+            let delta = read_varint_u32(bnam, &mut pos)?;
+            if i > 0 && delta == 0 {
+                return Err(StoreError::Corrupt(
+                    "duplicate blank-name node id".into(),
+                ));
+            }
+            prev = prev.checked_add(delta).ok_or_else(overflow)?;
+            if prev as usize >= node_count {
+                return Err(StoreError::Corrupt(format!(
+                    "blank name for node {prev} beyond node count {node_count}"
+                )));
+            }
+            let name = read_string(bnam, &mut pos, "blank-node name")?;
+            blank_names.insert(NodeId(prev), name);
+        }
+
+        Ok((vocab, RdfGraph::from_raw_parts(graph, blank_names)))
+    }
+}
+
+fn overflow() -> StoreError {
+    StoreError::Corrupt("id delta overflows u32".into())
+}
+
+/// Save a graph to a `.rdfb` file.
+pub fn save_graph(
+    path: impl AsRef<Path>,
+    vocab: &Vocab,
+    graph: &RdfGraph,
+) -> Result<(), StoreError> {
+    let file = std::fs::File::create(path)?;
+    StoreWriter::new(std::io::BufWriter::new(file)).write_graph(vocab, graph)?;
+    Ok(())
+}
+
+/// Load a graph from a `.rdfb` file.
+pub fn load_graph(
+    path: impl AsRef<Path>,
+) -> Result<(Vocab, RdfGraph), StoreError> {
+    StoreReader::open(path)?.read_graph()
+}
+
+/// Serialise a graph container into a byte vector.
+pub fn graph_to_bytes(
+    vocab: &Vocab,
+    graph: &RdfGraph,
+) -> Result<Vec<u8>, StoreError> {
+    StoreWriter::new(Vec::new()).write_graph(vocab, graph)
+}

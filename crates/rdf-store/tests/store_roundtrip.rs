@@ -1,0 +1,294 @@
+//! Property suite for the `.rdfb` store: `load(save(g)) == g`
+//! term-for-term for random graphs (blank nodes, escaped / lang-tagged /
+//! datatyped literals), byte-identical reconstruction of freshly parsed
+//! graphs, and typed — never panicking — failures on corrupt containers.
+
+use proptest::prelude::*;
+use rdf_io::{parse_graph, write_graph};
+use rdf_model::{LabelRef, NodeId, RdfGraph, Term, Vocab};
+use rdf_store::{graph_to_bytes, StoreError, StoreReader};
+
+/// Awkward characters exercising literal and IRI escaping.
+const TRICKY: &[&str] = &[
+    "", " ", "\"", "\\", "\n", "\r", "\t", "café", "😀", "a b", "x\\\"y",
+    "line1\nline2", "<angle>", "fin.",
+];
+
+fn term_of(g: &RdfGraph, vocab: &Vocab, n: NodeId) -> Term {
+    match vocab.resolve(g.graph().label(n)) {
+        LabelRef::Uri(u) => Term::uri(u),
+        LabelRef::Literal(l) => Term::literal(l),
+        LabelRef::Blank => Term::blank(
+            g.blank_name(n)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("b{}", n.0)),
+        ),
+    }
+}
+
+fn term_triples(g: &RdfGraph, vocab: &Vocab) -> Vec<(Term, Term, Term)> {
+    let mut out: Vec<(Term, Term, Term)> = g
+        .graph()
+        .triples()
+        .iter()
+        .map(|t| {
+            (
+                term_of(g, vocab, t.s),
+                term_of(g, vocab, t.p),
+                term_of(g, vocab, t.o),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// A random RDF graph mixing URI/blank subjects and URI/literal/blank
+/// objects, literals drawn from the tricky pool with language tags and
+/// datatypes folded in.
+fn arb_rdf_graph() -> impl Strategy<Value = (Vocab, RdfGraph)> {
+    (1usize..24, any::<u64>()).prop_map(|(m, seed)| {
+        let mut vocab = Vocab::new();
+        let mut b = rdf_model::RdfGraphBuilder::new(&mut vocab);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..m {
+            let s_uri = format!("http://e.org/s{}", next() % 6);
+            let s_blank = format!("bn{}", next() % 5);
+            let p = format!("http://e.org/p{}", next() % 4);
+            let tricky = TRICKY[(next() % TRICKY.len() as u64) as usize];
+            let lit = match next() % 4 {
+                0 => tricky.to_string(),
+                1 => format!("{tricky}@en"),
+                2 => format!(
+                    "{}^^http://www.w3.org/2001/XMLSchema#string",
+                    next() % 9
+                ),
+                _ => format!("value {} {tricky}", next() % 7),
+            };
+            let o_blank = format!("bn{}", next() % 5);
+            let o_uri = format!("http://e.org/o-{}", next() % 8);
+            match next() % 5 {
+                0 => b.uuu(&s_uri, &p, &o_uri),
+                1 => b.uul(&s_uri, &p, &lit),
+                2 => b.uub(&s_uri, &p, &o_blank),
+                3 => b.bul(&s_blank, &p, &lit),
+                _ => b.bub(&s_blank, &p, &o_blank),
+            }
+        }
+        let g = b.finish();
+        (vocab, g)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `load(save(g)) == g` term-for-term, blank names included.
+    #[test]
+    fn save_load_is_identity((vocab, g) in arb_rdf_graph()) {
+        let bytes = graph_to_bytes(&vocab, &g).unwrap();
+        let (v2, g2) = StoreReader::from_bytes(bytes).read_graph().unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.triple_count(), g.triple_count());
+        prop_assert_eq!(term_triples(&g2, &v2), term_triples(&g, &vocab));
+        for n in g.graph().nodes() {
+            prop_assert_eq!(g2.blank_name(n), g.blank_name(n));
+        }
+    }
+
+    /// `load(save(parse(text)))` reconstructs `parse(text)` *byte-
+    /// identically*: same node ids, same label ids, same CSR adjacency —
+    /// not just term equality — because a fresh parse interns labels
+    /// densely in first-appearance order, which is exactly the store's
+    /// dictionary order.
+    #[test]
+    fn store_of_fresh_parse_is_byte_identical((vocab, g) in arb_rdf_graph()) {
+        let text = write_graph(&g, &vocab);
+        let mut fresh = Vocab::new();
+        let parsed = parse_graph(&text, &mut fresh).unwrap();
+        let bytes = graph_to_bytes(&fresh, &parsed).unwrap();
+        let (v2, loaded) = StoreReader::from_bytes(bytes).read_graph().unwrap();
+        prop_assert_eq!(
+            loaded.graph().labels_raw(),
+            parsed.graph().labels_raw()
+        );
+        prop_assert_eq!(loaded.graph().kinds_raw(), parsed.graph().kinds_raw());
+        prop_assert_eq!(loaded.graph().triples(), parsed.graph().triples());
+        for n in parsed.graph().nodes() {
+            prop_assert_eq!(loaded.graph().out(n), parsed.graph().out(n));
+        }
+        prop_assert_eq!(v2.len(), fresh.len());
+        for i in 0..fresh.len() {
+            let id = rdf_model::LabelId(i as u32);
+            prop_assert_eq!(v2.kind(id), fresh.kind(id));
+            prop_assert_eq!(v2.text(id), fresh.text(id));
+        }
+        // And the canonical serialisation agrees byte-for-byte.
+        prop_assert_eq!(write_graph(&loaded, &v2), text);
+    }
+
+    /// Saving is deterministic: identical graphs produce identical bytes.
+    #[test]
+    fn save_is_deterministic((vocab, g) in arb_rdf_graph()) {
+        let a = graph_to_bytes(&vocab, &g).unwrap();
+        let b = graph_to_bytes(&vocab, &g).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every prefix-truncation of a valid container fails with a typed
+    /// error — no panic, no silent partial graph.
+    #[test]
+    fn truncations_fail_loudly((vocab, g) in arb_rdf_graph()) {
+        let bytes = graph_to_bytes(&vocab, &g).unwrap();
+        // Sampling every 7th cut keeps the case fast while still
+        // touching header, frame and payload territory.
+        for cut in (0..bytes.len()).step_by(7) {
+            let r = StoreReader::from_bytes(bytes[..cut].to_vec());
+            prop_assert!(r.read_graph().is_err(), "cut at {} must fail", cut);
+        }
+    }
+
+    /// Any single flipped payload bit is caught (by a checksum mismatch
+    /// or a later structural check) — sampled across the file.
+    #[test]
+    fn bit_flips_are_detected((vocab, g) in arb_rdf_graph()) {
+        let bytes = graph_to_bytes(&vocab, &g).unwrap();
+        for i in (0..bytes.len()).step_by(11) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x10;
+            // Must not panic; almost always errors. A flip inside an
+            // unused header byte region cannot occur (all 32 bytes are
+            // meaningful), but a flip may cancel out only by breaking a
+            // count that a structural check catches — either way, no
+            // silent success with different content.
+            let r = StoreReader::from_bytes(corrupt).read_graph();
+            if let Ok((v2, g2)) = r {
+                // The only acceptable "success" is content identity
+                // (impossible for a real flip, but assert it anyway).
+                prop_assert_eq!(
+                    term_triples(&g2, &v2),
+                    term_triples(&g, &vocab)
+                );
+            }
+        }
+    }
+}
+
+/// A hand-built container exercising each typed corruption error.
+fn sample_store() -> (Vocab, RdfGraph, Vec<u8>) {
+    let mut vocab = Vocab::new();
+    let g = {
+        let mut b = rdf_model::RdfGraphBuilder::new(&mut vocab);
+        b.uub("ss", "address", "b1");
+        b.bul("b1", "zip", "EH8 9AB");
+        b.bul("b1", "city", "Edinburgh");
+        b.uul("ss", "name", "Sławek\nStaworko@pl");
+        b.finish()
+    };
+    let bytes = graph_to_bytes(&vocab, &g).unwrap();
+    (vocab, g, bytes)
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let (_, _, mut bytes) = sample_store();
+    bytes[..4].copy_from_slice(b"NOPE");
+    match StoreReader::from_bytes(bytes).read_graph() {
+        Err(StoreError::BadMagic { found }) => assert_eq!(&found, b"NOPE"),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_typed() {
+    let (_, _, mut bytes) = sample_store();
+    bytes[4] = 2;
+    bytes[5] = 0;
+    match StoreReader::from_bytes(bytes).read_graph() {
+        Err(StoreError::UnsupportedVersion { found: 2, supported }) => {
+            assert_eq!(supported, rdf_store::FORMAT_VERSION)
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_checksum_byte_is_typed() {
+    let (_, _, mut bytes) = sample_store();
+    // First section's stored checksum sits at header + tag + len.
+    let crc_at = rdf_store::container::HEADER_LEN + 4 + 8;
+    bytes[crc_at] ^= 0xff;
+    match StoreReader::from_bytes(bytes).read_graph() {
+        Err(StoreError::ChecksumMismatch { section, .. }) => {
+            assert_eq!(&section, b"DICT")
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_typed() {
+    let (_, _, mut bytes) = sample_store();
+    let payload_at = rdf_store::container::HEADER_LEN
+        + rdf_store::container::SECTION_OVERHEAD
+        + 3;
+    bytes[payload_at] ^= 0x55;
+    match StoreReader::from_bytes(bytes).read_graph() {
+        Err(StoreError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_header_is_typed() {
+    let (_, _, bytes) = sample_store();
+    match StoreReader::from_bytes(bytes[..10].to_vec()).read_graph() {
+        Err(StoreError::Truncated { .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn archive_kind_rejected_by_graph_loader() {
+    let (_, _, mut bytes) = sample_store();
+    // Patch the content-kind byte to ARCHIVE and fix nothing else; the
+    // kind check fires before any section is interpreted.
+    bytes[6] = rdf_store::KIND_ARCHIVE;
+    match StoreReader::from_bytes(bytes).read_graph() {
+        Err(StoreError::WrongContentKind { found, expected }) => {
+            assert_eq!(found, rdf_store::KIND_ARCHIVE);
+            assert_eq!(expected, rdf_store::KIND_GRAPH);
+        }
+        other => panic!("expected WrongContentKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_graph_round_trips() {
+    let vocab = Vocab::new();
+    let g = rdf_model::RdfGraphBuilder::new(&mut Vocab::new()).finish();
+    let bytes = graph_to_bytes(&vocab, &g).unwrap();
+    let (v2, g2) = StoreReader::from_bytes(bytes).read_graph().unwrap();
+    assert_eq!(g2.node_count(), 0);
+    assert_eq!(g2.triple_count(), 0);
+    assert_eq!(v2.len(), 1);
+}
+
+#[test]
+fn info_reports_header_and_sections() {
+    let (_, g, bytes) = sample_store();
+    let info = StoreReader::from_bytes(bytes.clone()).info().unwrap();
+    assert_eq!(info.header.kind, rdf_store::KIND_GRAPH);
+    assert_eq!(info.header.counts[1], g.node_count() as u64);
+    assert_eq!(info.header.counts[2], g.triple_count() as u64);
+    assert_eq!(info.file_bytes, bytes.len());
+    let tags: Vec<&str> =
+        info.sections.iter().map(|(t, _)| t.as_str()).collect();
+    assert_eq!(tags, ["DICT", "NODE", "TRPL", "BNAM"]);
+}

@@ -10,7 +10,8 @@
 //! * [`rdf_edit`] — Levenshtein, Hungarian, `σ_Edit`, similarity flooding;
 //! * [`rdf_relational`] — relational database + W3C Direct Mapping;
 //! * [`rdf_datagen`] — synthetic evolving datasets with ground truth;
-//! * [`rdf_archive`] — compact multi-version archives built on alignments.
+//! * [`rdf_archive`] — compact multi-version archives built on alignments;
+//! * [`rdf_store`] — the persistent `.rdfb` dictionary-encoded graph store.
 
 #![warn(missing_docs)]
 
@@ -21,6 +22,7 @@ pub use rdf_edit;
 pub use rdf_io;
 pub use rdf_model;
 pub use rdf_relational;
+pub use rdf_store;
 
 /// Most-used items across the workspace.
 pub mod prelude {

@@ -1,0 +1,611 @@
+//! The deterministic parallel partition-refinement engine.
+//!
+//! Every alignment method of §3 bottoms out in iterated
+//! `BisimRefine*_X(λ)` rounds, and within one round the recoloring
+//! `recolor_λ(n)` of equation 1 depends only on the *previous*
+//! partition — rounds are embarrassingly parallel over nodes. The
+//! engine runs a whole fixpoint as one SPMD gang: worker threads are
+//! spawned **once per run** (not per round) on [`std::thread::scope`]
+//! and advance through the rounds together, separated by
+//! [`std::sync::Barrier`]s, so per-round overhead is three barrier
+//! waits instead of repeated thread spawns. Each round has two phases:
+//!
+//! 1. **Signature phase** — every worker computes the 128-bit
+//!    signatures for its chunk of the node range, reusing a per-worker
+//!    pair buffer, and bins `(node, signature)` by shard (the
+//!    signature's high bits);
+//! 2. **Canonicalisation phase** — worker `s` interns exactly shard
+//!    `s`'s keys into its private hash map (shards partition the key
+//!    space, so no synchronisation is needed), recording the first
+//!    node index at which each distinct key occurs; the round leader
+//!    then merges the shards' first-occurrence lists into a
+//!    deterministic dense renumbering ordered by first occurrence and
+//!    scatters the final colors.
+//!
+//! Because first-occurrence numbering is exactly what the sequential
+//! single-map loop produces, the output partition is **bit-identical**
+//! for every thread count — `--threads 1` and `--threads 8` give the
+//! same dense color vector, and all results are reproducible. Workers
+//! exchange data only at barriers, through per-worker `RwLock` slots
+//! that are write-locked by their owner in one phase and read by the
+//! others in the next; no atomicity on shared arrays, no `unsafe`.
+//!
+//! On one thread the engine takes a plain sequential path whose
+//! interning map and pair buffer live in the engine and are reused
+//! round to round *and* run to run — the allocation-churn fix for the
+//! old free-standing `bisim_refine_step` loop, which rebuilt both every
+//! round. The thin [`crate::refine::bisim_refine_step`] wrapper remains
+//! for API compatibility.
+
+use crate::partition::{ColorId, Partition};
+use crate::refine::RefineOutcome;
+use rdf_model::hash::mix64;
+use rdf_model::{FxHashMap, NodeId, OutColumns, TripleGraph};
+use rdf_par::{chunk_ranges, Threads};
+use std::sync::{Barrier, RwLock};
+
+/// Multiplier for the primary signature stream.
+pub(crate) const K1: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Multiplier for the secondary (independent) signature stream.
+pub(crate) const K2: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Interning key for one refinement round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum RoundKey {
+    /// Node kept its previous color (n ∉ X).
+    Kept(u32),
+    /// Node was recolored; identified by the 128-bit signature of
+    /// `(previous color, sorted outbound color pairs)`.
+    Recolored(u64, u64),
+}
+
+/// The 128-bit signature of `recolor_λ(n)` (equation 1): the previous
+/// color mixed with the sorted, distinct outbound color pairs. Shared
+/// by the engine and the sequential reference in [`crate::refine`] so
+/// the two cannot drift.
+#[inline]
+pub(crate) fn recolor_signature(prev: u32, pairs: &[(u32, u32)]) -> (u64, u64) {
+    let c = prev as u64;
+    let mut h1 = mix64(c ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut h2 = mix64(c ^ 0x0123_4567_89AB_CDEF);
+    for &(cp, co) in pairs {
+        let x = ((cp as u64) << 32) | co as u64;
+        h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
+        h2 = (h2.rotate_left(9) ^ x).wrapping_mul(K2);
+    }
+    (h1, h2)
+}
+
+/// Shard owning a key: the signature's high bits reduced to the shard
+/// count. A deterministic function of the key alone, so every worker
+/// agrees on ownership without communication.
+#[inline]
+fn shard_of(key: &RoundKey, shards: usize) -> usize {
+    let h = match *key {
+        // Kept colors are small dense integers; mix them so the high
+        // bits spread. (Kept and Recolored keys can never collide: the
+        // enum discriminant is part of the key.)
+        RoundKey::Kept(c) => mix64(0x4B45_5054 ^ ((c as u64) << 17)),
+        RoundKey::Recolored(h1, _) => h1,
+    };
+    ((h >> 32) as usize) % shards
+}
+
+/// One worker's signature-phase output: for each shard, the
+/// `(node, key)` pairs that shard owns, in ascending node order.
+type ShardBins = Vec<Vec<(u32, RoundKey)>>;
+
+/// Per-shard interning output, handed from the canonicalisation
+/// workers to the round leader through an `RwLock` slot.
+#[derive(Debug, Default)]
+struct InternOut {
+    /// First-occurrence node index of each distinct key, ascending.
+    firsts: Vec<u32>,
+    /// Local id of every binned node, in shard scan order.
+    locals: Vec<u32>,
+}
+
+/// Round-to-round state shared by the worker gang.
+#[derive(Debug)]
+struct GangState {
+    partition: Partition,
+    rounds: usize,
+    last_changed: bool,
+    done: bool,
+}
+
+/// Reusable, deterministic, multi-threaded refinement engine.
+///
+/// Construct once (per pipeline, CLI invocation, or benchmark) and feed
+/// it every fixpoint run. Output partitions are bit-identical for every
+/// thread count (see the module docs for why).
+#[derive(Debug)]
+pub struct RefineEngine {
+    threads: usize,
+    /// Sequential-path interning map, reused round to round and run to
+    /// run.
+    seq_map: FxHashMap<RoundKey, u32>,
+    /// Sequential-path pair buffer for equation 1's sorted pair set.
+    seq_buf: Vec<(u32, u32)>,
+}
+
+impl RefineEngine {
+    /// An engine running on the given thread configuration.
+    pub fn new(threads: Threads) -> Self {
+        RefineEngine {
+            threads: threads.resolve(),
+            seq_map: FxHashMap::default(),
+            seq_buf: Vec::new(),
+        }
+    }
+
+    /// An engine on the default (auto) thread configuration.
+    pub fn auto() -> Self {
+        RefineEngine::new(Threads::Auto)
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run canonicalised rounds from `initial` until the class count
+    /// stops changing (or `max_rounds` is hit). `sig` maps
+    /// `(node, previous partition, scratch pair buffer)` to the node's
+    /// [`RoundKey`] for the round; it must be a pure function of the
+    /// node and partition so rounds parallelise.
+    ///
+    /// This is the engine's generic core; the bisimulation step and the
+    /// §6 refinement variants all plug their signature function in
+    /// here. Returns the final partition, the number of rounds
+    /// executed, and whether the *last* round still changed the class
+    /// count (false at a certified fixpoint).
+    pub(crate) fn run<S>(
+        &mut self,
+        n: usize,
+        initial: Partition,
+        sig: S,
+        max_rounds: Option<usize>,
+    ) -> (Partition, usize, bool)
+    where
+        S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey + Sync,
+    {
+        debug_assert_eq!(initial.len(), n);
+        if n == 0 || max_rounds == Some(0) {
+            return (initial, 0, false);
+        }
+        let ranges = chunk_ranges(n, self.threads);
+        if ranges.len() == 1 {
+            return self.run_sequential(n, initial, sig, max_rounds);
+        }
+        run_gang(n, initial, &sig, max_rounds, &ranges)
+    }
+
+    /// The single-worker path: one interning map, dense ids straight
+    /// from insertion order (identical numbering to the parallel path
+    /// by construction), scratch reused across rounds and runs.
+    fn run_sequential<S>(
+        &mut self,
+        n: usize,
+        initial: Partition,
+        sig: S,
+        max_rounds: Option<usize>,
+    ) -> (Partition, usize, bool)
+    where
+        S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey,
+    {
+        let mut partition = initial;
+        let mut rounds = 0;
+        loop {
+            let map = &mut self.seq_map;
+            map.clear();
+            map.reserve(partition.num_colors() as usize + 16);
+            let mut colors = Vec::with_capacity(n);
+            for i in 0..n {
+                let key = sig(i, &partition, &mut self.seq_buf);
+                let next = map.len() as u32;
+                colors.push(ColorId(*map.entry(key).or_insert(next)));
+            }
+            let new_num = map.len() as u32;
+            let changed = new_num != partition.num_colors();
+            partition = Partition::from_dense(colors, new_num);
+            rounds += 1;
+            if !changed || Some(rounds) == max_rounds {
+                return (partition, rounds, changed);
+            }
+        }
+    }
+
+    /// Apply one refinement step `BisimRefine_X(λ)` (equation 2) over a
+    /// prebuilt grouped-CSR column view (the fixpoint driver builds the
+    /// view once per run).
+    pub fn refine_step_columns(
+        &mut self,
+        cols: &OutColumns<'_>,
+        partition: &Partition,
+        in_x: &[bool],
+    ) -> (Partition, bool) {
+        let n = partition.len();
+        // Real asserts, not debug: a length mismatch detected inside a
+        // gang worker would panic past a `Barrier` and deadlock the
+        // remaining workers, so reject bad input on the calling thread
+        // before any thread spawns.
+        assert_eq!(in_x.len(), n, "in_x length != partition length");
+        assert_eq!(cols.offsets().len(), n + 1, "column view/partition mismatch");
+        let (next, _, changed) =
+            self.run(n, partition.clone(), bisim_sig(cols, in_x), Some(1));
+        (next, changed)
+    }
+
+    /// Apply one refinement step `BisimRefine_X(λ)` (equation 2).
+    pub fn refine_step(
+        &mut self,
+        g: &TripleGraph,
+        partition: &Partition,
+        in_x: &[bool],
+    ) -> (Partition, bool) {
+        debug_assert_eq!(partition.len(), g.node_count());
+        let cols = g.out_columns();
+        self.refine_step_columns(&cols, partition, in_x)
+    }
+
+    /// Run `BisimRefine*_X(λ)` to fixpoint (Definition 4) over a
+    /// prebuilt grouped-CSR column view, returning the final partition
+    /// and the number of rounds executed (≥ 1; an empty graph still
+    /// "certifies" its fixpoint instantly).
+    pub fn refine_fixpoint_columns(
+        &mut self,
+        cols: &OutColumns<'_>,
+        initial: Partition,
+        in_x: &[bool],
+    ) -> (Partition, usize) {
+        let n = initial.len();
+        // See refine_step_columns: validate on the calling thread so no
+        // gang worker can panic mid-round and strand the barrier.
+        assert_eq!(in_x.len(), n, "in_x length != partition length");
+        assert_eq!(cols.offsets().len(), n + 1, "column view/partition mismatch");
+        let (partition, rounds, _) =
+            self.run(n, initial, bisim_sig(cols, in_x), None);
+        (partition, rounds.max(1))
+    }
+
+    /// Run `BisimRefine*_X(λ)` to fixpoint (Definition 4) with a
+    /// membership mask for `X`.
+    pub fn refine_fixpoint_mask(
+        &mut self,
+        g: &TripleGraph,
+        initial: Partition,
+        in_x: &[bool],
+    ) -> RefineOutcome {
+        debug_assert_eq!(in_x.len(), g.node_count());
+        let cols = g.out_columns();
+        let (partition, rounds) =
+            self.refine_fixpoint_columns(&cols, initial, in_x);
+        RefineOutcome { partition, rounds }
+    }
+
+    /// Run `BisimRefine*_X(λ)` to fixpoint for an explicit node set.
+    pub fn refine_fixpoint(
+        &mut self,
+        g: &TripleGraph,
+        initial: Partition,
+        x: &[NodeId],
+    ) -> RefineOutcome {
+        let mut in_x = vec![false; g.node_count()];
+        for &n in x {
+            in_x[n.index()] = true;
+        }
+        self.refine_fixpoint_mask(g, initial, &in_x)
+    }
+
+    /// Run a custom signature function to fixpoint through the engine —
+    /// the entry point for the §6 refinement variants (context- and
+    /// key-restricted recoloring), which share the canonicalisation
+    /// machinery but hash different neighbourhoods.
+    pub(crate) fn refine_fixpoint_custom<S>(
+        &mut self,
+        n: usize,
+        initial: Partition,
+        sig: S,
+    ) -> RefineOutcome
+    where
+        S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey + Sync,
+    {
+        let (partition, rounds, _) = self.run(n, initial, sig, None);
+        RefineOutcome {
+            partition,
+            rounds: rounds.max(1),
+        }
+    }
+
+    /// `λ_Bisim = BisimRefine*_{N_G}(ℓ_G)` — the maximal bisimulation
+    /// partition (Proposition 1), through this engine.
+    pub fn bisimulation(&mut self, g: &TripleGraph) -> RefineOutcome {
+        let all = vec![true; g.node_count()];
+        self.refine_fixpoint_mask(g, crate::refine::label_partition(g), &all)
+    }
+}
+
+impl Default for RefineEngine {
+    fn default() -> Self {
+        RefineEngine::auto()
+    }
+}
+
+/// The equation-1 signature function over a grouped-CSR view: colors of
+/// the `(pred, obj)` columns, sorted and deduplicated, hashed with the
+/// previous color.
+fn bisim_sig<'a>(
+    cols: &'a OutColumns<'a>,
+    in_x: &'a [bool],
+) -> impl Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey + Sync + 'a {
+    let preds = cols.preds();
+    let objs = cols.objs();
+    move |i, partition, buf| {
+        let colors = partition.colors();
+        if in_x[i] {
+            buf.clear();
+            for j in cols.range(NodeId(i as u32)) {
+                buf.push((
+                    colors[preds[j].index()].0,
+                    colors[objs[j].index()].0,
+                ));
+            }
+            // Equation (1) uses a *set* of color pairs: sort + dedup
+            // gives the canonical sequence to hash.
+            buf.sort_unstable();
+            buf.dedup();
+            let (h1, h2) = recolor_signature(colors[i].0, buf);
+            RoundKey::Recolored(h1, h2)
+        } else {
+            RoundKey::Kept(colors[i].0)
+        }
+    }
+}
+
+/// The parallel fixpoint: one scoped worker gang for the whole run.
+///
+/// Workers proceed in lockstep through three barriers per round:
+/// signatures + shard binning → shard interning → leader merge/scatter.
+/// Data crosses thread boundaries only through the `RwLock` slots, each
+/// write-locked by its owning worker in one phase and read-locked by
+/// consumers in the next (the barriers guarantee the locks are never
+/// contended).
+fn run_gang<S>(
+    n: usize,
+    initial: Partition,
+    sig: &S,
+    max_rounds: Option<usize>,
+    ranges: &[std::ops::Range<usize>],
+) -> (Partition, usize, bool)
+where
+    S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey + Sync,
+{
+    let workers = ranges.len();
+    let shards = workers;
+    let barrier = Barrier::new(workers);
+    // bins[w][s]: worker w's (node, key) pairs owned by shard s.
+    let bins: Vec<RwLock<ShardBins>> = (0..workers)
+        .map(|_| RwLock::new(vec![Vec::new(); shards]))
+        .collect();
+    let interns: Vec<RwLock<InternOut>> =
+        (0..shards).map(|_| RwLock::new(InternOut::default())).collect();
+    let state = RwLock::new(GangState {
+        partition: initial,
+        rounds: 0,
+        last_changed: false,
+        done: false,
+    });
+
+    let work = |w: usize| {
+        let range = ranges[w].clone();
+        let mut buf: Vec<(u32, u32)> = Vec::new();
+        let mut map: FxHashMap<RoundKey, u32> = FxHashMap::default();
+        // Leader-only merge scratch, reused across rounds.
+        let mut merge: Vec<(u32, u32)> = Vec::new();
+        let mut ranks: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        loop {
+            // Phase A: signatures for this worker's node chunk, binned
+            // by owning shard.
+            {
+                let st = state.read().expect("gang state readable");
+                if st.done {
+                    return;
+                }
+                let mut my_bins =
+                    bins[w].write().expect("own bins writable");
+                for b in my_bins.iter_mut() {
+                    b.clear();
+                }
+                for i in range.clone() {
+                    let key = sig(i, &st.partition, &mut buf);
+                    my_bins[shard_of(&key, shards)].push((i as u32, key));
+                }
+            }
+            barrier.wait();
+
+            // Phase B: intern shard `w`. Walking the workers' bins in
+            // worker order visits nodes in ascending order (chunks are
+            // ascending ranges), so each key's recorded first
+            // occurrence is its global first occurrence.
+            {
+                map.clear();
+                let mut out =
+                    interns[w].write().expect("own intern slot writable");
+                out.firsts.clear();
+                out.locals.clear();
+                for slot in &bins {
+                    let worker_bins = slot.read().expect("bins readable");
+                    for &(i, key) in &worker_bins[w] {
+                        let next = map.len() as u32;
+                        let local = *map.entry(key).or_insert_with(|| {
+                            out.firsts.push(i);
+                            next
+                        });
+                        out.locals.push(local);
+                    }
+                }
+            }
+            barrier.wait();
+
+            // Phase C: the leader renumbers densely by first occurrence
+            // and scatters the colors.
+            if w == 0 {
+                let mut st = state.write().expect("gang state writable");
+                merge.clear();
+                let intern_guards: Vec<_> = interns
+                    .iter()
+                    .map(|s| s.read().expect("intern slots readable"))
+                    .collect();
+                for (s, out) in intern_guards.iter().enumerate() {
+                    for &i in &out.firsts {
+                        merge.push((i, s as u32));
+                    }
+                }
+                merge.sort_unstable();
+                for r in ranks.iter_mut() {
+                    r.clear();
+                }
+                for (rank, &(_, s)) in merge.iter().enumerate() {
+                    // Within one shard, first-occurrence indices ascend
+                    // in insertion (local-id) order, so pushing in
+                    // global sorted order fills `ranks[s]` positionally.
+                    ranks[s as usize].push(rank as u32);
+                }
+                let new_num = merge.len() as u32;
+
+                let mut colors = vec![ColorId(0); n];
+                let bin_guards: Vec<_> = bins
+                    .iter()
+                    .map(|s| s.read().expect("bins readable"))
+                    .collect();
+                for (s, out) in intern_guards.iter().enumerate() {
+                    let shard_ranks = &ranks[s];
+                    let mut locals = out.locals.iter();
+                    for worker_bins in &bin_guards {
+                        for &(i, _) in &worker_bins[s] {
+                            let local =
+                                *locals.next().expect("local per node");
+                            colors[i as usize] =
+                                ColorId(shard_ranks[local as usize]);
+                        }
+                    }
+                }
+
+                let changed = new_num != st.partition.num_colors();
+                st.partition = Partition::from_dense(colors, new_num);
+                st.rounds += 1;
+                st.last_changed = changed;
+                if !changed || Some(st.rounds) == max_rounds {
+                    st.done = true;
+                }
+            }
+            barrier.wait();
+        }
+    };
+
+    std::thread::scope(|scope| {
+        let work = &work;
+        for w in 1..workers {
+            scope.spawn(move || work(w));
+        }
+        work(0);
+    });
+
+    let st = state.into_inner().expect("gang finished");
+    (st.partition, st.rounds, st.last_changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::{GraphBuilder, LabelId, Vocab};
+
+    /// A small chain/diamond graph with blanks, literals and URIs.
+    fn sample() -> TripleGraph {
+        let mut v = Vocab::new();
+        let mut b = GraphBuilder::new();
+        let w = b.add_node(v.uri("w"), &v);
+        let u = b.add_node(v.uri("u"), &v);
+        let p = b.add_node(v.uri("p"), &v);
+        let q = b.add_node(v.uri("q"), &v);
+        let lit = b.add_node(v.literal("a"), &v);
+        let b1 = b.add_node(LabelId::BLANK, &v);
+        let b2 = b.add_node(LabelId::BLANK, &v);
+        let b3 = b.add_node(LabelId::BLANK, &v);
+        b.add_triple(w, p, b1);
+        b.add_triple(u, p, b2);
+        b.add_triple(b1, q, lit);
+        b.add_triple(b2, q, lit);
+        b.add_triple(b3, q, b1);
+        b.freeze()
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let g = sample();
+        let base = RefineEngine::new(Threads::Fixed(1)).bisimulation(&g);
+        for t in [2usize, 3, 4, 8] {
+            let out = RefineEngine::new(Threads::Fixed(t)).bisimulation(&g);
+            assert_eq!(
+                out.partition.colors(),
+                base.partition.colors(),
+                "threads={t} diverged"
+            );
+            assert_eq!(out.rounds, base.rounds);
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_deterministic() {
+        let g = sample();
+        let mut engine = RefineEngine::new(Threads::Fixed(4));
+        let a = engine.bisimulation(&g);
+        let b = engine.bisimulation(&g);
+        assert_eq!(a.partition.colors(), b.partition.colors());
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().freeze();
+        for t in [1usize, 4] {
+            let out = RefineEngine::new(Threads::Fixed(t)).bisimulation(&g);
+            assert_eq!(out.partition.len(), 0);
+            assert_eq!(out.partition.num_colors(), 0);
+        }
+    }
+
+    #[test]
+    fn single_step_matches_across_threads() {
+        let g = sample();
+        let initial = crate::refine::label_partition(&g);
+        let all = vec![true; g.node_count()];
+        let (seq, seq_changed) = RefineEngine::new(Threads::Fixed(1))
+            .refine_step(&g, &initial, &all);
+        for t in [2usize, 4] {
+            let (par, par_changed) = RefineEngine::new(Threads::Fixed(t))
+                .refine_step(&g, &initial, &all);
+            assert_eq!(seq.colors(), par.colors());
+            assert_eq!(seq_changed, par_changed);
+        }
+    }
+
+    #[test]
+    fn partial_mask_matches_across_threads() {
+        let g = sample();
+        let in_x: Vec<bool> = g.nodes().map(|n| g.is_blank(n)).collect();
+        let seq = RefineEngine::new(Threads::Fixed(1)).refine_fixpoint_mask(
+            &g,
+            crate::refine::label_partition(&g),
+            &in_x,
+        );
+        let par = RefineEngine::new(Threads::Fixed(4)).refine_fixpoint_mask(
+            &g,
+            crate::refine::label_partition(&g),
+            &in_x,
+        );
+        assert_eq!(seq.partition.colors(), par.partition.colors());
+        assert_eq!(seq.rounds, par.rounds);
+    }
+}

@@ -45,6 +45,7 @@
 pub mod align;
 pub mod bisim;
 pub mod delta;
+pub mod engine;
 pub mod enrich;
 pub mod metrics;
 pub mod methods;
@@ -59,15 +60,23 @@ pub mod weighted;
 
 pub use align::AlignmentView;
 pub use delta::{delta, Delta};
+pub use engine::RefineEngine;
 pub use enrich::WeightedBipartite;
-pub use pipeline::{align, Aligned, Method};
+pub use pipeline::{align, align_with, Aligned, Method};
 pub use metrics::{EdgeStats, MatchBreakdown, NodeCounts};
 pub use methods::{
-    deblank_partition, hybrid_partition, trivial_partition, HybridOutcome,
+    deblank_partition, deblank_partition_with, hybrid_partition,
+    hybrid_partition_with, trivial_partition, HybridOutcome,
 };
 pub use overlap::PrefixBound;
-pub use overlap_align::{overlap_align, LiteralChar, OverlapConfig, OverlapOutcome};
+pub use overlap_align::{
+    overlap_align, overlap_align_with, LiteralChar, OverlapConfig,
+    OverlapOutcome,
+};
 pub use partition::{ColorId, Partition};
 pub use propagate::{propagate, PropagateConfig};
 pub use refine::{bisimulation_partition, RefineOutcome};
 pub use weighted::WeightedPartition;
+// The thread-count knob of the engine, re-exported so downstream crates
+// (CLI, benches) need not depend on rdf-par directly.
+pub use rdf_par::Threads;

@@ -4,8 +4,9 @@
 //! All operate on the combined graph `G = G1 ⊎ G2` and satisfy the
 //! hierarchy `Align(λ_Trivial) ⊆ Align(λ_Deblank) ⊆ Align(λ_Hybrid)`.
 
+use crate::engine::RefineEngine;
 use crate::partition::{unaligned_non_literals, ColorId, Partition};
-use crate::refine::{bisim_refine_fixpoint_mask, label_partition, RefineOutcome};
+use crate::refine::{label_partition, RefineOutcome};
 use rdf_model::{CombinedGraph, NodeId};
 
 /// `λ_Trivial` (§3.1): label equality on non-blank nodes; every blank node
@@ -30,10 +31,20 @@ pub fn trivial_partition(combined: &CombinedGraph) -> Partition {
 /// refinement restricted to blank nodes, starting from the node-labelling
 /// partition.
 pub fn deblank_partition(combined: &CombinedGraph) -> RefineOutcome {
+    deblank_partition_with(combined, &mut RefineEngine::auto())
+}
+
+/// As [`deblank_partition`], refining through a caller-owned engine so
+/// scratch is reused across pipeline stages and the thread
+/// configuration is explicit.
+pub fn deblank_partition_with(
+    combined: &CombinedGraph,
+    engine: &mut RefineEngine,
+) -> RefineOutcome {
     let g = combined.graph();
     let initial = label_partition(g);
     let in_x: Vec<bool> = g.nodes().map(|n| g.is_blank(n)).collect();
-    bisim_refine_fixpoint_mask(g, initial, &in_x)
+    engine.refine_fixpoint_mask(g, initial, &in_x)
 }
 
 /// `Blank(λ, X)` (equation 3): reset the color of the nodes in `X` to the
@@ -65,8 +76,17 @@ pub struct HybridOutcome {
 /// `λ_Hybrid` (§3.4): blank out `UN(λ_Deblank)` (unaligned non-literal
 /// nodes) and refine exactly those nodes by bisimulation.
 pub fn hybrid_partition(combined: &CombinedGraph) -> HybridOutcome {
-    let deblank = deblank_partition(combined).partition;
-    hybrid_from(combined, deblank)
+    hybrid_partition_with(combined, &mut RefineEngine::auto())
+}
+
+/// As [`hybrid_partition`], refining through a caller-owned engine
+/// (both the deblank stage and the hybrid stage reuse its scratch).
+pub fn hybrid_partition_with(
+    combined: &CombinedGraph,
+    engine: &mut RefineEngine,
+) -> HybridOutcome {
+    let deblank = deblank_partition_with(combined, engine).partition;
+    hybrid_from_with(combined, deblank, engine)
 }
 
 /// Hybrid construction from a given base partition (the paper notes that
@@ -75,6 +95,15 @@ pub fn hybrid_from(
     combined: &CombinedGraph,
     base: Partition,
 ) -> HybridOutcome {
+    hybrid_from_with(combined, base, &mut RefineEngine::auto())
+}
+
+/// As [`hybrid_from`], refining through a caller-owned engine.
+pub fn hybrid_from_with(
+    combined: &CombinedGraph,
+    base: Partition,
+    engine: &mut RefineEngine,
+) -> HybridOutcome {
     let g = combined.graph();
     let unaligned = unaligned_non_literals(&base, combined);
     let blanked = blank_out(&base, &unaligned);
@@ -82,7 +111,7 @@ pub fn hybrid_from(
     for &n in &unaligned {
         in_x[n.index()] = true;
     }
-    let out = bisim_refine_fixpoint_mask(g, blanked, &in_x);
+    let out = engine.refine_fixpoint_mask(g, blanked, &in_x);
     HybridOutcome {
         deblank: base,
         unaligned,

@@ -13,11 +13,12 @@
 //! until no new close pairs are found. Theorem 1 guarantees every pair
 //! the result aligns is `σ_Edit`-close.
 
+use crate::engine::RefineEngine;
 use crate::enrich::enrich;
-use crate::methods::hybrid_partition;
+use crate::methods::hybrid_partition_with;
 use crate::overlap::{overlap_match, OverlapMatchStats, PrefixBound};
 use crate::partition::SideCounts;
-use crate::propagate::{propagate, PropagateConfig};
+use crate::propagate::{propagate_cols, PropagateConfig};
 use crate::weighted::WeightedPartition;
 use rdf_model::{CombinedGraph, FxHashMap, NodeId, Side, TripleGraph, Vocab};
 use rdf_edit::algebra::oplus;
@@ -216,8 +217,19 @@ pub fn overlap_align(
     vocab: &Vocab,
     config: OverlapConfig,
 ) -> OverlapOutcome {
+    overlap_align_with(combined, vocab, config, &mut RefineEngine::auto())
+}
+
+/// As [`overlap_align`], running the hybrid bootstrap and every
+/// propagation round through a caller-owned refinement engine.
+pub fn overlap_align_with(
+    combined: &CombinedGraph,
+    vocab: &Vocab,
+    config: OverlapConfig,
+    engine: &mut RefineEngine,
+) -> OverlapOutcome {
     let g = combined.graph();
-    let hybrid = hybrid_partition(combined).partition;
+    let hybrid = hybrid_partition_with(combined, engine).partition;
     let mut xi = WeightedPartition::zero(hybrid);
     let mut rounds = Vec::new();
 
@@ -259,8 +271,16 @@ pub fn overlap_align(
     });
 
     // Non-literal rounds: enrich + propagate, then match non-literals.
+    // One grouped-CSR view serves every propagation round.
+    let cols = g.out_columns();
     for _ in 0..config.max_rounds {
-        xi = propagate(combined, &enrich(&xi, &h), config.propagate);
+        xi = propagate_cols(
+            combined,
+            &cols,
+            &enrich(&xi, &h),
+            config.propagate,
+            engine,
+        );
         let (a, b) = unaligned_by_side(&xi, combined, false);
         let char_a: Vec<Vec<u64>> =
             a.iter().map(|&n| out_colors(g, &xi, n)).collect();
@@ -327,6 +347,7 @@ fn unaligned_by_side(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::methods::hybrid_partition;
     use rdf_model::{RdfGraphBuilder, Vocab};
 
     #[test]

@@ -3,12 +3,16 @@
 //! This is the "downstream user" API: wraps graph union, method
 //! dispatch, and the §5 metrics into a single call.
 
+use crate::engine::RefineEngine;
 use crate::metrics::{edge_stats, node_counts, EdgeStats, NodeCounts};
-use crate::methods::{deblank_partition, hybrid_partition, trivial_partition};
-use crate::overlap_align::{overlap_align, OverlapConfig};
+use crate::methods::{
+    deblank_partition_with, hybrid_partition_with, trivial_partition,
+};
+use crate::overlap_align::{overlap_align_with, OverlapConfig};
 use crate::partition::{unaligned_nodes, Partition};
 use crate::weighted::WeightedPartition;
 use rdf_model::{CombinedGraph, NodeId, RdfGraph, Vocab};
+use rdf_par::Threads;
 
 /// Which alignment method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -69,25 +73,44 @@ impl Aligned {
     }
 }
 
-/// Align two graph versions (sharing `vocab`) with the chosen method.
+/// Align two graph versions (sharing `vocab`) with the chosen method,
+/// on the default (auto) thread configuration.
 pub fn align(
     vocab: &Vocab,
     source: &RdfGraph,
     target: &RdfGraph,
     method: Method,
 ) -> Aligned {
+    align_with(vocab, source, target, method, Threads::Auto)
+}
+
+/// Align two graph versions with an explicit thread configuration.
+///
+/// One [`RefineEngine`] is built here and reused across every
+/// refinement stage of the chosen method; its output is bit-identical
+/// for every thread count, so `threads` is purely a performance knob.
+pub fn align_with(
+    vocab: &Vocab,
+    source: &RdfGraph,
+    target: &RdfGraph,
+    method: Method,
+    threads: Threads,
+) -> Aligned {
+    let mut engine = RefineEngine::new(threads);
     let combined = CombinedGraph::union(vocab, source, target);
     let weighted = match method {
         Method::Trivial => {
             WeightedPartition::zero(trivial_partition(&combined))
         }
-        Method::Deblank => {
-            WeightedPartition::zero(deblank_partition(&combined).partition)
+        Method::Deblank => WeightedPartition::zero(
+            deblank_partition_with(&combined, &mut engine).partition,
+        ),
+        Method::Hybrid => WeightedPartition::zero(
+            hybrid_partition_with(&combined, &mut engine).partition,
+        ),
+        Method::Overlap(cfg) => {
+            overlap_align_with(&combined, vocab, cfg, &mut engine).weighted
         }
-        Method::Hybrid => {
-            WeightedPartition::zero(hybrid_partition(&combined).partition)
-        }
-        Method::Overlap(cfg) => overlap_align(&combined, vocab, cfg).weighted,
     };
     let edges = edge_stats(&weighted.partition, &combined);
     let nodes = node_counts(&weighted.partition, &combined);
@@ -148,5 +171,23 @@ mod tests {
     #[test]
     fn default_method_is_hybrid() {
         assert_eq!(Method::default(), Method::Hybrid);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (vocab, v1, v2) = versions();
+        for method in [Method::Trivial, Method::Deblank, Method::Hybrid] {
+            let one =
+                align_with(&vocab, &v1, &v2, method, Threads::Fixed(1));
+            let four =
+                align_with(&vocab, &v1, &v2, method, Threads::Fixed(4));
+            assert_eq!(
+                one.partition().colors(),
+                four.partition().colors(),
+                "{method:?} diverged across thread counts"
+            );
+            assert_eq!(one.edges.ratio(), four.edges.ratio());
+            assert_eq!(one.unaligned, four.unaligned);
+        }
     }
 }

@@ -19,9 +19,9 @@
 //! alignment. `Propagate((λ_Trivial, 0)) = (λ_Hybrid, 0)` — the natural
 //! relationship with §3.4 noted by the paper.
 
+use crate::engine::RefineEngine;
 use crate::methods::blank_out;
 use crate::partition::unaligned_non_literals;
-use crate::refine::bisim_refine_step;
 use crate::weighted::WeightedPartition;
 use rdf_model::{CombinedGraph, NodeId, TripleGraph};
 use rdf_edit::algebra::oplus;
@@ -83,20 +83,44 @@ pub fn weighted_refine_fixpoint(
     x: &[NodeId],
     config: PropagateConfig,
 ) -> WeightedPartition {
+    weighted_refine_fixpoint_with(g, xi, x, config, &mut RefineEngine::auto())
+}
+
+/// As [`weighted_refine_fixpoint`], refining colors through a
+/// caller-owned engine over a prebuilt grouped-CSR column view.
+///
+/// Color rounds read only colors and weight rounds read only weights,
+/// so the interleaved loop of §4.5 decouples: the whole color fixpoint
+/// runs as one engine invocation (on its thread configuration, with its
+/// reused scratch, no per-round partition copies), then the same number
+/// of weight rounds replay before the ε check starts — producing the
+/// exact color and weight sequences of the interleaved formulation.
+pub(crate) fn weighted_refine_fixpoint_cols(
+    g: &TripleGraph,
+    cols: &rdf_model::OutColumns<'_>,
+    xi: WeightedPartition,
+    x: &[NodeId],
+    config: PropagateConfig,
+    engine: &mut RefineEngine,
+) -> WeightedPartition {
     let mut in_x = vec![false; g.node_count()];
     for &n in x {
         in_x[n.index()] = true;
     }
     let WeightedPartition {
-        mut partition,
+        partition,
         mut weights,
     } = xi;
+    let (partition, color_rounds) =
+        engine.refine_fixpoint_columns(cols, partition, &in_x);
+    let mut rounds = 0;
     let mut weight_rounds = 0;
     loop {
-        let (next, color_changed) = bisim_refine_step(g, &partition, &in_x);
-        partition = next;
         let delta = reweight_step(g, &mut weights, &in_x);
-        if !color_changed {
+        rounds += 1;
+        // The interleaved loop only consults ε once the color partition
+        // has stabilised (round `color_rounds` onwards).
+        if rounds >= color_rounds {
             weight_rounds += 1;
             if delta < config.epsilon || weight_rounds >= config.max_weight_rounds
             {
@@ -104,6 +128,19 @@ pub fn weighted_refine_fixpoint(
             }
         }
     }
+}
+
+/// As [`weighted_refine_fixpoint`], refining colors through a
+/// caller-owned engine (the grouped-CSR view is built once per call).
+pub fn weighted_refine_fixpoint_with(
+    g: &TripleGraph,
+    xi: WeightedPartition,
+    x: &[NodeId],
+    config: PropagateConfig,
+    engine: &mut RefineEngine,
+) -> WeightedPartition {
+    let cols = g.out_columns();
+    weighted_refine_fixpoint_cols(g, &cols, xi, x, config, engine)
 }
 
 /// `Blank(ξ, X)` for weighted partitions: reset colors of `X` to the
@@ -127,9 +164,40 @@ pub fn propagate(
     xi: &WeightedPartition,
     config: PropagateConfig,
 ) -> WeightedPartition {
+    propagate_with(combined, xi, config, &mut RefineEngine::auto())
+}
+
+/// As [`propagate`], refining through a caller-owned engine.
+pub fn propagate_with(
+    combined: &CombinedGraph,
+    xi: &WeightedPartition,
+    config: PropagateConfig,
+    engine: &mut RefineEngine,
+) -> WeightedPartition {
+    let cols = combined.graph().out_columns();
+    propagate_cols(combined, &cols, xi, config, engine)
+}
+
+/// As [`propagate_with`], over a prebuilt grouped-CSR column view —
+/// callers that propagate repeatedly on one graph (the overlap rounds
+/// loop) build the view once instead of once per round.
+pub(crate) fn propagate_cols(
+    combined: &CombinedGraph,
+    cols: &rdf_model::OutColumns<'_>,
+    xi: &WeightedPartition,
+    config: PropagateConfig,
+    engine: &mut RefineEngine,
+) -> WeightedPartition {
     let un = unaligned_non_literals(&xi.partition, combined);
     let blanked = blank_out_weighted(xi, &un);
-    weighted_refine_fixpoint(combined.graph(), blanked, &un, config)
+    weighted_refine_fixpoint_cols(
+        combined.graph(),
+        cols,
+        blanked,
+        &un,
+        config,
+        engine,
+    )
 }
 
 #[cfg(test)]

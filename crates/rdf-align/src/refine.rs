@@ -13,25 +13,18 @@
 //! describes for representing derivation-tree colors as DAGs. Collisions
 //! are possible in principle but need ~2⁶⁴ distinct classes to become
 //! likely; the paper-scale inputs have < 2²³ nodes.
+//!
+//! The heavy lifting lives in [`crate::engine::RefineEngine`], the
+//! deterministic multi-threaded two-phase implementation; the functions
+//! here are thin wrappers that build a throwaway engine per call, plus
+//! the plainly-written sequential [`reference_refine_step`] /
+//! [`reference_refine_fixpoint_mask`] that the property-test suite
+//! compares the engine against, thread count by thread count.
 
+use crate::engine::{recolor_signature, RefineEngine, RoundKey};
 use crate::partition::{ColorId, Partition};
-use rdf_model::hash::mix64;
 use rdf_model::{FxHashMap, NodeId, TripleGraph};
-
-/// Multiplier for the primary signature stream.
-const K1: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-/// Multiplier for the secondary (independent) signature stream.
-const K2: u64 = 0x9e37_79b9_7f4a_7c15;
-
-/// Interning key for one refinement round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum RoundKey {
-    /// Node kept its previous color (n ∉ X).
-    Kept(u32),
-    /// Node was recolored; identified by the 128-bit signature of
-    /// `(previous color, sorted outbound color pairs)`.
-    Recolored(u64, u64),
-}
+use rdf_par::Threads;
 
 /// Result of running refinement to fixpoint.
 #[derive(Debug, Clone)]
@@ -47,7 +40,62 @@ pub struct RefineOutcome {
 ///
 /// Returns the refined partition and whether it is strictly finer than
 /// the input (i.e. not equivalent).
+///
+/// Thin compatibility wrapper: builds a throwaway single-thread
+/// [`RefineEngine`] per call. Loops that refine repeatedly should hold
+/// an engine (or call [`bisim_refine_fixpoint_mask`]) so the interning
+/// map and pair buffers are reused round to round instead of
+/// reallocated.
 pub fn bisim_refine_step(
+    g: &TripleGraph,
+    partition: &Partition,
+    in_x: &[bool],
+) -> (Partition, bool) {
+    RefineEngine::new(Threads::Fixed(1)).refine_step(g, partition, in_x)
+}
+
+/// Run `BisimRefine*_X(λ)`: iterate refinement steps until the
+/// partition stabilises (Definition 4).
+///
+/// Terminates after at most `|N_G|` changing rounds because every
+/// changing round strictly increases the class count.
+pub fn bisim_refine_fixpoint(
+    g: &TripleGraph,
+    initial: Partition,
+    x: &[NodeId],
+) -> RefineOutcome {
+    RefineEngine::auto().refine_fixpoint(g, initial, x)
+}
+
+/// As [`bisim_refine_fixpoint`] but with a precomputed membership mask.
+pub fn bisim_refine_fixpoint_mask(
+    g: &TripleGraph,
+    initial: Partition,
+    in_x: &[bool],
+) -> RefineOutcome {
+    RefineEngine::auto().refine_fixpoint_mask(g, initial, in_x)
+}
+
+/// The node-labelling partition `ℓ_G`: nodes grouped by label, all blank
+/// nodes in a single class (the initial partition of Proposition 1).
+pub fn label_partition(g: &TripleGraph) -> Partition {
+    let labels: Vec<u32> = g.nodes().map(|n| g.label(n).0).collect();
+    Partition::from_colors(&labels)
+}
+
+/// `λ_Bisim = BisimRefine*_{N_G}(ℓ_G)` — captures the maximal
+/// bisimulation on `G` (Proposition 1).
+pub fn bisimulation_partition(g: &TripleGraph) -> RefineOutcome {
+    RefineEngine::auto().bisimulation(g)
+}
+
+/// One refinement step by the *sequential reference* algorithm: a
+/// single interning map filled in node order, dense ids straight from
+/// insertion order. This is the original single-threaded loop, kept —
+/// deliberately separate from the engine's chunked/sharded machinery —
+/// as the oracle the parallel engine must match bit-for-bit at every
+/// thread count (asserted by `tests/parallel_refine_identity.rs`).
+pub fn reference_refine_step(
     g: &TripleGraph,
     partition: &Partition,
     in_x: &[bool],
@@ -56,11 +104,7 @@ pub fn bisim_refine_step(
     debug_assert_eq!(in_x.len(), n);
     debug_assert_eq!(partition.len(), n);
 
-    let mut map: FxHashMap<RoundKey, u32> =
-        FxHashMap::with_capacity_and_hasher(
-            partition.num_colors() as usize + 16,
-            Default::default(),
-        );
+    let mut map: FxHashMap<RoundKey, u32> = FxHashMap::default();
     let mut new_colors: Vec<ColorId> = Vec::with_capacity(n);
     let mut buf: Vec<(u32, u32)> = Vec::new();
 
@@ -74,14 +118,7 @@ pub fn bisim_refine_step(
             // the canonical sequence to hash.
             buf.sort_unstable();
             buf.dedup();
-            let c = partition.color(node).0 as u64;
-            let mut h1 = mix64(c ^ 0xA5A5_5A5A_DEAD_BEEF);
-            let mut h2 = mix64(c ^ 0x0123_4567_89AB_CDEF);
-            for &(cp, co) in &buf {
-                let x = ((cp as u64) << 32) | co as u64;
-                h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
-                h2 = (h2.rotate_left(9) ^ x).wrapping_mul(K2);
-            }
+            let (h1, h2) = recolor_signature(partition.color(node).0, &buf);
             RoundKey::Recolored(h1, h2)
         } else {
             RoundKey::Kept(partition.color(node).0)
@@ -98,25 +135,9 @@ pub fn bisim_refine_step(
     (Partition::from_dense(new_colors, new_num), changed)
 }
 
-/// Run `BisimRefine*_X(λ)`: iterate [`bisim_refine_step`] until the
-/// partition stabilises (Definition 4).
-///
-/// Terminates after at most `|N_G|` changing rounds because every
-/// changing round strictly increases the class count.
-pub fn bisim_refine_fixpoint(
-    g: &TripleGraph,
-    initial: Partition,
-    x: &[NodeId],
-) -> RefineOutcome {
-    let mut in_x = vec![false; g.node_count()];
-    for &n in x {
-        in_x[n.index()] = true;
-    }
-    bisim_refine_fixpoint_mask(g, initial, &in_x)
-}
-
-/// As [`bisim_refine_fixpoint`] but with a precomputed membership mask.
-pub fn bisim_refine_fixpoint_mask(
+/// Run [`reference_refine_step`] to fixpoint: the sequential oracle for
+/// [`RefineEngine::refine_fixpoint_mask`].
+pub fn reference_refine_fixpoint_mask(
     g: &TripleGraph,
     initial: Partition,
     in_x: &[bool],
@@ -124,7 +145,7 @@ pub fn bisim_refine_fixpoint_mask(
     let mut partition = initial;
     let mut rounds = 0;
     loop {
-        let (next, changed) = bisim_refine_step(g, &partition, in_x);
+        let (next, changed) = reference_refine_step(g, &partition, in_x);
         rounds += 1;
         partition = next;
         if !changed {
@@ -133,36 +154,23 @@ pub fn bisim_refine_fixpoint_mask(
     }
 }
 
-/// The node-labelling partition `ℓ_G`: nodes grouped by label, all blank
-/// nodes in a single class (the initial partition of Proposition 1).
-pub fn label_partition(g: &TripleGraph) -> Partition {
-    let labels: Vec<u32> = g.nodes().map(|n| g.label(n).0).collect();
-    Partition::from_colors(&labels)
-}
-
-/// `λ_Bisim = BisimRefine*_{N_G}(ℓ_G)` — captures the maximal
-/// bisimulation on `G` (Proposition 1).
-pub fn bisimulation_partition(g: &TripleGraph) -> RefineOutcome {
-    let all = vec![true; g.node_count()];
-    bisim_refine_fixpoint_mask(g, label_partition(g), &all)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use rdf_model::{LabelId, GraphBuilder, Vocab};
 
-    /// The graph of Figure 2: w, u, "a", "b", blanks b1 b2 b3,
-    /// predicates p q r.
+    /// The graph of Figure 2: URIs `w`, `u`, literals `"a"`, `"b"`,
+    /// blanks `b1 b2 b3`, predicates `p q r`.
     ///
-    /// Edges: w -p-> b1, w -p-> u, b1 -q-> "a", b1 -r-> b2,
-    /// b2 -q-> "b", b3 -q-> "b", b3 -r-> b2(? no) ...
-    /// Exact edges per the figure:
-    ///   w -p-> b1;  w -p-> u;  b1 -q-> "a"; b1 -r-> b2;
-    ///   b2 -q-> "b"; b3 -q-> "b"; u -r-> b3; u -q-> "a";
-    ///   b3 ... the figure also shows  w? ...
-    /// We encode the essential property stated in §2.3: b2 and b3 are
-    /// bisimilar, b1 is not bisimilar to them.
+    /// Edges encoded (one per line):
+    ///   w  -p-> b1      w  -p-> u
+    ///   b1 -q-> "a"     b1 -r-> b2
+    ///   u  -q-> "a"     u  -r-> b3
+    ///   b2 -q-> "b"     b3 -q-> "b"
+    ///
+    /// This exhibits the essential property stated in §2.3: b2 and b3
+    /// have identical outbound structure (-q-> "b") and are bisimilar,
+    /// while b1 (whose contents also reach b2) is not bisimilar to them.
     fn figure2() -> (Vocab, TripleGraph, [NodeId; 8]) {
         let mut v = Vocab::new();
         let mut b = GraphBuilder::new();
@@ -327,5 +335,26 @@ mod tests {
         // l1 ~ l2 so out-color sets coincide: x ~ y under bisimulation.
         assert!(out.partition.same_class(l1, l2));
         assert!(out.partition.same_class(x, y));
+    }
+
+    #[test]
+    fn wrapper_equals_reference_on_figure2() {
+        // The compat wrapper (engine at 1 thread) and the sequential
+        // reference must agree exactly, round by round.
+        let (_, g, _) = figure2();
+        let all = vec![true; g.node_count()];
+        let mut p_engine = label_partition(&g);
+        let mut p_ref = p_engine.clone();
+        loop {
+            let (e, e_changed) = bisim_refine_step(&g, &p_engine, &all);
+            let (r, r_changed) = reference_refine_step(&g, &p_ref, &all);
+            assert_eq!(e.colors(), r.colors());
+            assert_eq!(e_changed, r_changed);
+            p_engine = e;
+            p_ref = r;
+            if !e_changed {
+                break;
+            }
+        }
     }
 }

@@ -14,19 +14,11 @@
 //!   solution would identify URIs that are predominantly used as
 //!   predicates and use a different refinement process").
 
-use crate::partition::{ColorId, Partition};
+use crate::engine::{RefineEngine, RoundKey, K1, K2};
+use crate::partition::Partition;
 use crate::refine::RefineOutcome;
 use rdf_model::hash::mix64;
 use rdf_model::{FxHashMap, FxHashSet, LabelId, NodeId, TripleGraph};
-
-const K1: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-const K2: u64 = 0x9e37_79b9_7f4a_7c15;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum RoundKey {
-    Kept(u32),
-    Recolored(u64, u64),
-}
 
 /// Inbound neighbourhoods `in(n) = {(p, s) | (s, p, n) ∈ E}` in CSR form.
 struct InAdjacency {
@@ -61,74 +53,64 @@ impl InAdjacency {
     }
 }
 
-/// One context-refinement step: recolor nodes of `X` by
-/// `(λ(n), out-colors, in-colors)`.
-fn context_refine_step(
-    g: &TripleGraph,
-    inbound: &InAdjacency,
-    partition: &Partition,
-    in_x: &[bool],
-) -> (Partition, bool) {
-    let n = g.node_count();
-    let mut map: FxHashMap<RoundKey, u32> = FxHashMap::default();
-    let mut colors = Vec::with_capacity(n);
-    let mut buf: Vec<(u32, u32)> = Vec::new();
-    for node in g.nodes() {
-        let key = if in_x[node.index()] {
-            let c = partition.color(node).0 as u64;
-            let mut h1 = mix64(c ^ 0x5157_1057_AAAA_0001);
-            let mut h2 = mix64(c ^ 0x5157_1057_BBBB_0002);
-            for (salt, pairs) in
-                [(3u64, g.out(node)), (5u64, inbound.of(node))]
-            {
-                buf.clear();
-                for &(p, o) in pairs {
-                    buf.push((partition.color(p).0, partition.color(o).0));
-                }
-                buf.sort_unstable();
-                buf.dedup();
-                h1 = (h1.rotate_left(5) ^ salt).wrapping_mul(K1);
-                h2 = (h2.rotate_left(9) ^ salt).wrapping_mul(K2);
-                for &(cp, co) in &buf {
-                    let x = ((cp as u64) << 32) | co as u64;
-                    h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
-                    h2 = (h2.rotate_left(9) ^ x).wrapping_mul(K2);
-                }
-            }
-            RoundKey::Recolored(h1, h2)
-        } else {
-            RoundKey::Kept(partition.color(node).0)
-        };
-        let next = map.len() as u32;
-        colors.push(ColorId(*map.entry(key).or_insert(next)));
-    }
-    let new_num = map.len() as u32;
-    let changed = new_num != partition.num_colors();
-    (Partition::from_dense(colors, new_num), changed)
-}
-
 /// Run context refinement (out- and in-neighbourhoods) to fixpoint.
 pub fn context_refine_fixpoint(
     g: &TripleGraph,
     initial: Partition,
     x: &[NodeId],
 ) -> RefineOutcome {
+    context_refine_fixpoint_with(g, initial, x, &mut RefineEngine::auto())
+}
+
+/// As [`context_refine_fixpoint`], through a caller-owned engine:
+/// recolor nodes of `X` by `(λ(n), out-colors, in-colors)` each round
+/// until the partition stabilises.
+pub fn context_refine_fixpoint_with(
+    g: &TripleGraph,
+    initial: Partition,
+    x: &[NodeId],
+    engine: &mut RefineEngine,
+) -> RefineOutcome {
     let inbound = InAdjacency::build(g);
     let mut in_x = vec![false; g.node_count()];
     for &n in x {
         in_x[n.index()] = true;
     }
-    let mut partition = initial;
-    let mut rounds = 0;
-    loop {
-        let (next, changed) =
-            context_refine_step(g, &inbound, &partition, &in_x);
-        rounds += 1;
-        partition = next;
-        if !changed {
-            return RefineOutcome { partition, rounds };
+    engine.refine_fixpoint_custom(g.node_count(), initial, {
+        let in_x = &in_x;
+        let inbound = &inbound;
+        move |i, partition: &Partition, buf: &mut Vec<(u32, u32)>| {
+            let node = NodeId(i as u32);
+            if in_x[i] {
+                let c = partition.color(node).0 as u64;
+                let mut h1 = mix64(c ^ 0x5157_1057_AAAA_0001);
+                let mut h2 = mix64(c ^ 0x5157_1057_BBBB_0002);
+                for (salt, pairs) in
+                    [(3u64, g.out(node)), (5u64, inbound.of(node))]
+                {
+                    buf.clear();
+                    for &(p, o) in pairs {
+                        buf.push((
+                            partition.color(p).0,
+                            partition.color(o).0,
+                        ));
+                    }
+                    buf.sort_unstable();
+                    buf.dedup();
+                    h1 = (h1.rotate_left(5) ^ salt).wrapping_mul(K1);
+                    h2 = (h2.rotate_left(9) ^ salt).wrapping_mul(K2);
+                    for &(cp, co) in buf.iter() {
+                        let x = ((cp as u64) << 32) | co as u64;
+                        h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
+                        h2 = (h2.rotate_left(9) ^ x).wrapping_mul(K2);
+                    }
+                }
+                RoundKey::Recolored(h1, h2)
+            } else {
+                RoundKey::Kept(partition.color(node).0)
+            }
         }
-    }
+    })
 }
 
 /// A key specification: the set of predicate *labels* whose edges define
@@ -152,48 +134,6 @@ impl KeySpec {
     }
 }
 
-/// One key-restricted refinement step: like §3.2 but only edges whose
-/// predicate label is in the key contribute to the color.
-fn key_refine_step(
-    g: &TripleGraph,
-    key: &KeySpec,
-    partition: &Partition,
-    in_x: &[bool],
-) -> (Partition, bool) {
-    let n = g.node_count();
-    let mut map: FxHashMap<RoundKey, u32> = FxHashMap::default();
-    let mut colors = Vec::with_capacity(n);
-    let mut buf: Vec<(u32, u32)> = Vec::new();
-    for node in g.nodes() {
-        let round_key = if in_x[node.index()] {
-            buf.clear();
-            for &(p, o) in g.out(node) {
-                if key.contains(g.label(p)) {
-                    buf.push((partition.color(p).0, partition.color(o).0));
-                }
-            }
-            buf.sort_unstable();
-            buf.dedup();
-            let c = partition.color(node).0 as u64;
-            let mut h1 = mix64(c ^ 0x4B45_5952_4546_494E); // "KEYREFIN"
-            let mut h2 = mix64(c ^ 0x1234_5678_9ABC_DEF0);
-            for &(cp, co) in &buf {
-                let x = ((cp as u64) << 32) | co as u64;
-                h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
-                h2 = (h2.rotate_left(9) ^ x).wrapping_mul(K2);
-            }
-            RoundKey::Recolored(h1, h2)
-        } else {
-            RoundKey::Kept(partition.color(node).0)
-        };
-        let next = map.len() as u32;
-        colors.push(ColorId(*map.entry(round_key).or_insert(next)));
-    }
-    let new_num = map.len() as u32;
-    let changed = new_num != partition.num_colors();
-    (Partition::from_dense(colors, new_num), changed)
-}
-
 /// Run key-restricted refinement to fixpoint.
 pub fn key_restricted_fixpoint(
     g: &TripleGraph,
@@ -201,20 +141,53 @@ pub fn key_restricted_fixpoint(
     initial: Partition,
     x: &[NodeId],
 ) -> RefineOutcome {
+    key_restricted_fixpoint_with(g, key, initial, x, &mut RefineEngine::auto())
+}
+
+/// As [`key_restricted_fixpoint`], through a caller-owned engine: like
+/// §3.2 but only edges whose predicate label is in the key contribute
+/// to the color.
+pub fn key_restricted_fixpoint_with(
+    g: &TripleGraph,
+    key: &KeySpec,
+    initial: Partition,
+    x: &[NodeId],
+    engine: &mut RefineEngine,
+) -> RefineOutcome {
     let mut in_x = vec![false; g.node_count()];
     for &n in x {
         in_x[n.index()] = true;
     }
-    let mut partition = initial;
-    let mut rounds = 0;
-    loop {
-        let (next, changed) = key_refine_step(g, key, &partition, &in_x);
-        rounds += 1;
-        partition = next;
-        if !changed {
-            return RefineOutcome { partition, rounds };
+    engine.refine_fixpoint_custom(g.node_count(), initial, {
+        let in_x = &in_x;
+        move |i, partition: &Partition, buf: &mut Vec<(u32, u32)>| {
+            let node = NodeId(i as u32);
+            if in_x[i] {
+                buf.clear();
+                for &(p, o) in g.out(node) {
+                    if key.contains(g.label(p)) {
+                        buf.push((
+                            partition.color(p).0,
+                            partition.color(o).0,
+                        ));
+                    }
+                }
+                buf.sort_unstable();
+                buf.dedup();
+                let c = partition.color(node).0 as u64;
+                let mut h1 = mix64(c ^ 0x4B45_5952_4546_494E); // "KEYREFIN"
+                let mut h2 = mix64(c ^ 0x1234_5678_9ABC_DEF0);
+                for &(cp, co) in buf.iter() {
+                    let x = ((cp as u64) << 32) | co as u64;
+                    h1 = (h1.rotate_left(5) ^ x).wrapping_mul(K1);
+                    h2 = (h2.rotate_left(9) ^ x).wrapping_mul(K2);
+                }
+                RoundKey::Recolored(h1, h2)
+            } else {
+                RoundKey::Kept(partition.color(node).0)
+            }
         }
-    }
+    })
 }
 
 /// URIs used *only* in predicate position, and a partition refinement for

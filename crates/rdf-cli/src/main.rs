@@ -3,14 +3,18 @@
 //! ```text
 //! rdf import <input.nt> <output.rdfb>
 //! rdf export <input.rdfb> <output.nt>
-//! rdf info   <file.rdfb>
-//! rdf align  [--method trivial|deblank|hybrid|overlap] [--theta T] <source> <target>
+//! rdf info   [--bisim] [--threads N] <file.rdfb>
+//! rdf align  [--method trivial|deblank|hybrid|overlap] [--theta T]
+//!            [--threads N] <source> <target>
 //! rdf gen    [--scale F] [--versions N] --out-dir DIR
 //! ```
 //!
 //! `align` inputs may be `.rdfb` stores or N-Triples files, mixed freely
-//! (format is sniffed from the magic bytes).
+//! (format is sniffed from the magic bytes). Refinement runs on the
+//! deterministic parallel engine: `--threads` only changes wall-clock
+//! time, never the output.
 
+use rdf_align::Threads;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,13 +24,23 @@ usage: rdf <command> [options]
 commands:
   import <input.nt> <output.rdfb>   parse N-Triples (streaming) into a store
   export <input.rdfb> <output.nt>   write a store as canonical N-Triples
-  info   <file.rdfb>                header, counts, sections, checksums
-  align  [--method M] [--theta T] <source> <target>
+  info   [--bisim] [--threads N] <file.rdfb>
+                                    header, counts, sections, checksums;
+                                    --bisim adds a maximal-bisimulation
+                                    summary (graph stores)
+  align  [--method M] [--theta T] [--threads N] <source> <target>
                                     align two graphs (stores or N-Triples);
                                     M = trivial|deblank|hybrid|overlap
                                     (default hybrid)
   gen    [--scale F] [--versions N] --out-dir DIR
                                     write seeded EFO-like N-Triples fixtures
+
+threading:
+  --threads N                       N = auto | positive integer (default
+                                    auto). Refinement output is identical
+                                    for every N; only wall time changes.
+                                    auto uses the RDF_THREADS environment
+                                    variable when set, else all cores.
 ";
 
 fn main() -> ExitCode {
@@ -54,14 +68,32 @@ fn run(args: &[String]) -> Result<String, String> {
             let [input, output] = two_paths(rest, "export")?;
             rdf_cli::export(&input, &output).map_err(|e| e.to_string())
         }
-        "info" => match rest {
-            [input] => rdf_cli::info(&PathBuf::from(input))
-                .map_err(|e| e.to_string()),
-            _ => Err("info takes exactly one file".into()),
-        },
+        "info" => {
+            let mut bisim = false;
+            let mut threads = Threads::Auto;
+            let mut inputs: Vec<PathBuf> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--bisim" => bisim = true,
+                    "--threads" => {
+                        threads = Threads::parse(
+                            it.next().ok_or("--threads needs a value")?,
+                        )?;
+                    }
+                    other => inputs.push(PathBuf::from(other)),
+                }
+            }
+            let [input]: [PathBuf; 1] = inputs
+                .try_into()
+                .map_err(|_| "info takes exactly one file")?;
+            rdf_cli::info(&input, bisim.then_some(threads))
+                .map_err(|e| e.to_string())
+        }
         "align" => {
             let mut method = "hybrid".to_string();
             let mut theta: Option<f64> = None;
+            let mut threads = Threads::Auto;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -80,14 +112,20 @@ fn run(args: &[String]) -> Result<String, String> {
                                 .map_err(|_| "--theta needs a number")?,
                         );
                     }
+                    "--threads" => {
+                        threads = Threads::parse(
+                            it.next().ok_or("--threads needs a value")?,
+                        )?;
+                    }
                     other => inputs.push(PathBuf::from(other)),
                 }
             }
             let [source, target]: [PathBuf; 2] = inputs
                 .try_into()
                 .map_err(|_| "align takes exactly two inputs")?;
-            let outcome = rdf_cli::align(&source, &target, &method, theta)
-                .map_err(|e| e.to_string())?;
+            let outcome =
+                rdf_cli::align(&source, &target, &method, theta, threads)
+                    .map_err(|e| e.to_string())?;
             Ok(outcome.render())
         }
         "gen" => {

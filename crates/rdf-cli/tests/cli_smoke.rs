@@ -144,9 +144,53 @@ fn full_pipeline_matches_in_process_alignment() {
     }
 
     // And the binary's stdout is exactly the library render.
-    let outcome =
-        rdf_cli::align(&v1_store, &v2_store, "hybrid", None).unwrap();
+    let outcome = rdf_cli::align(
+        &v1_store,
+        &v2_store,
+        "hybrid",
+        None,
+        rdf_align::Threads::Auto,
+    )
+    .unwrap();
     assert_eq!(cli_report, outcome.render());
+
+    // Determinism across thread counts: the engine guarantees the
+    // report is byte-identical at --threads 1 and --threads 4.
+    let t1 = run_ok(&[
+        "align", "--method", "hybrid", "--threads", "1",
+        s(&v1_store), s(&v2_store),
+    ]);
+    let t4 = run_ok(&[
+        "align", "--method", "hybrid", "--threads", "4",
+        s(&v1_store), s(&v2_store),
+    ]);
+    assert_eq!(t1, t4, "thread count changed the alignment report");
+    assert_eq!(t1, cli_report, "threaded run diverged from default run");
+
+    // info --bisim reports the maximal-bisimulation summary, and it is
+    // identical at every thread count too.
+    let bisim1 = run_ok(&["info", "--bisim", "--threads", "1", s(&v1_store)]);
+    let bisim4 = run_ok(&["info", "--bisim", "--threads", "4", s(&v1_store)]);
+    assert!(bisim1.contains("bisimulation:"), "got: {bisim1}");
+    assert!(bisim1.contains("(1 threads)"));
+    assert!(bisim4.contains("(4 threads)"));
+    // Compare whole reports with only the "(N threads)" suffix removed,
+    // so the bisimulation class/round counts themselves must agree.
+    let strip = |r: &str| {
+        r.lines()
+            .map(|l| {
+                l.trim_end_matches(" (1 threads)")
+                    .trim_end_matches(" (4 threads)")
+                    .to_owned()
+            })
+            .collect::<Vec<_>>()
+    };
+    let (s1, s4) = (strip(&bisim1), strip(&bisim4));
+    assert!(
+        s1.iter().any(|l| l.contains("bisimulation:")),
+        "strip removed the bisimulation line: {s1:?}"
+    );
+    assert_eq!(s1, s4);
 
     // Aligning the raw N-Triples gives the same metrics as the stores
     // (only the input paths in the heading differ).
@@ -217,6 +261,11 @@ fn errors_exit_nonzero_with_context() {
     // Unknown method.
     let err = run_err(&["align", "--method", "psychic", s(&nt), s(&nt)]);
     assert!(err.contains("unknown method"));
+    // Invalid thread counts.
+    let err = run_err(&["align", "--threads", "0", s(&nt), s(&nt)]);
+    assert!(err.contains("invalid thread count"), "got: {err}");
+    let err = run_err(&["info", "--threads", "zippy", s(&nt)]);
+    assert!(err.contains("invalid thread count"), "got: {err}");
     // Malformed N-Triples reports position.
     let bad = dir.path("bad.nt");
     std::fs::write(&bad, "<u:s> <u:p> broken .\n").unwrap();
@@ -241,4 +290,8 @@ fn import_rejects_archive_containers() {
     // But info understands it.
     let info_out = run_ok(&["info", s(&dir.path("a.rdfb"))]);
     assert!(info_out.contains("archive"));
+    // --bisim degrades gracefully on non-graph stores.
+    let info_out =
+        run_ok(&["info", "--bisim", s(&dir.path("a.rdfb"))]);
+    assert!(info_out.contains("bisimulation: n/a"), "got: {info_out}");
 }

@@ -134,6 +134,22 @@ impl TripleGraph {
         (self.out_index[n.index() + 1] - self.out_index[n.index()]) as usize
     }
 
+    /// Materialise the grouped-CSR (struct-of-arrays) form of the
+    /// outbound adjacency: the predicate and object columns of every
+    /// `out(n)`, copied into two parallel arrays (`O(E)` work and
+    /// allocation) sharing this graph's per-node offsets. Hot loops
+    /// that touch every out-edge of every node (the refinement
+    /// signature phase) stream two contiguous `u32` columns instead of
+    /// chasing per-node `out(n)` pair slices — build the columns once
+    /// per graph and reuse them across rounds and fixpoint runs.
+    pub fn out_columns(&self) -> OutColumns<'_> {
+        OutColumns {
+            offsets: &self.out_index,
+            preds: self.out_pairs.iter().map(|&(p, _)| p).collect(),
+            objs: self.out_pairs.iter().map(|&(_, o)| o).collect(),
+        }
+    }
+
     /// Ids of all nodes with the given kind.
     pub fn nodes_of_kind(&self, kind: LabelKind) -> Vec<NodeId> {
         self.nodes().filter(|&n| self.kind(n) == kind).collect()
@@ -231,6 +247,56 @@ impl TripleGraph {
             out_index,
             out_pairs,
         })
+    }
+}
+
+/// Grouped-CSR form of a graph's outbound adjacency (see
+/// [`TripleGraph::out_columns`], which copies the columns out of the
+/// graph's pair storage): `(pred, obj)` column slices with per-node
+/// offsets. Edge `j` of node `n` is `(preds()[j], objs()[j])` for `j`
+/// in `range(n)`, in the same sorted order as [`TripleGraph::out`].
+#[derive(Debug, Clone)]
+pub struct OutColumns<'g> {
+    offsets: &'g [u32],
+    preds: Vec<NodeId>,
+    objs: Vec<NodeId>,
+}
+
+impl OutColumns<'_> {
+    /// The edge-index range of node `n`'s outbound edges.
+    #[inline]
+    pub fn range(&self, n: NodeId) -> std::ops::Range<usize> {
+        self.offsets[n.index()] as usize
+            ..self.offsets[n.index() + 1] as usize
+    }
+
+    /// The predicate column, indexed by edge.
+    #[inline]
+    pub fn preds(&self) -> &[NodeId] {
+        &self.preds
+    }
+
+    /// The object column, indexed by edge.
+    #[inline]
+    pub fn objs(&self) -> &[NodeId] {
+        &self.objs
+    }
+
+    /// The per-node offsets (length `node_count + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        self.offsets
+    }
+
+    /// Total number of edges in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the view holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
     }
 }
 
@@ -439,6 +505,32 @@ mod tests {
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.triple_count(), 0);
         assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn out_columns_agree_with_out_pairs() {
+        let mut v = Vocab::new();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(v.uri("x"), &v);
+        let p = b.add_node(v.uri("p"), &v);
+        let q = b.add_node(v.uri("q"), &v);
+        let y = b.add_node(v.uri("y"), &v);
+        b.add_triple(x, q, y);
+        b.add_triple(x, p, y);
+        b.add_triple(y, p, x);
+        let g = b.freeze();
+        let cols = g.out_columns();
+        assert_eq!(cols.len(), g.triple_count());
+        assert_eq!(cols.offsets().len(), g.node_count() + 1);
+        for n in g.nodes() {
+            let pairs: Vec<(NodeId, NodeId)> = cols
+                .range(n)
+                .map(|j| (cols.preds()[j], cols.objs()[j]))
+                .collect();
+            assert_eq!(pairs.as_slice(), g.out(n));
+        }
+        let empty = GraphBuilder::new().freeze();
+        assert!(empty.out_columns().is_empty());
     }
 
     #[test]

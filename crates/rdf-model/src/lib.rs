@@ -40,7 +40,9 @@ pub mod stats;
 pub mod truth;
 pub mod union;
 
-pub use graph::{GraphBuilder, NodeId, RawPartsError, Triple, TripleGraph};
+pub use graph::{
+    GraphBuilder, NodeId, OutColumns, RawPartsError, Triple, TripleGraph,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use label::{LabelId, LabelKind, LabelRef, Vocab};
 pub use rdf::{RdfError, RdfGraph, RdfGraphBuilder, Term};

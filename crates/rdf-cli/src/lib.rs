@@ -2,17 +2,24 @@
 //!
 //! Each subcommand is a plain function returning its report text, so the
 //! end-to-end tests can call the exact code the binary runs (and compare
-//! the binary's stdout against it byte-for-byte). Inputs to [`align`]
-//! may be `.rdfb` stores or N-Triples text; the format is sniffed from
-//! the file's magic bytes, never the extension.
+//! the binary's stdout against it byte-for-byte). Inputs may be `.rdfb`
+//! single-file stores, `.rdfm` sharded-store manifests, or N-Triples
+//! text; the format is resolved by [`pipeline`] from the file's magic
+//! bytes and container kind, never the extension.
 
 #![warn(missing_docs)]
 
+pub mod pipeline;
+
+use crate::pipeline::{ctx, open_any};
 use rdf_align::pipeline::{align_with as pipeline_align_with, Aligned, Method};
 use rdf_align::{RefineEngine, Threads};
-use rdf_model::{LabelId, LabelKind, RdfGraph, TripleGraph, Vocab};
+use rdf_model::Vocab;
+use rdf_store::AnyReader;
 use std::fmt;
 use std::path::Path;
+
+pub use pipeline::{load_input, load_input_with};
 
 /// Any failure surfaced to the CLI user, with file context baked into
 /// the message.
@@ -20,7 +27,7 @@ use std::path::Path;
 pub struct CliError(String);
 
 impl CliError {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         CliError(msg.into())
     }
 }
@@ -33,38 +40,74 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-fn ctx(path: &Path, e: impl fmt::Display) -> CliError {
-    CliError::new(format!("{}: {e}", path.display()))
-}
-
-/// `rdf import <input.nt> <output.rdfb>` — stream-parse N-Triples into a
-/// dictionary-encoded store.
-pub fn import(input: &Path, output: &Path) -> Result<String, CliError> {
+/// `rdf import [--shards N] <input.nt> <output>` — stream-parse
+/// N-Triples into a dictionary-encoded store. Without `--shards` the
+/// output is one `.rdfb` file; with `--shards N` it is a `.rdfm`
+/// manifest plus N subject-hash-partitioned shard files next to it.
+pub fn import(
+    input: &Path,
+    output: &Path,
+    shards: Option<usize>,
+) -> Result<String, CliError> {
     let file = std::fs::File::open(input).map_err(|e| ctx(input, e))?;
     let reader = std::io::BufReader::new(file);
-    let out = std::fs::File::create(output).map_err(|e| ctx(output, e))?;
-    let (vocab, graph) =
-        rdf_store::import_ntriples(reader, std::io::BufWriter::new(out))
-            .map_err(|e| ctx(input, e))?;
-    let out_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
     let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
-    Ok(format!(
-        "imported {} -> {}\n  nodes {} triples {} labels {}\n  {} bytes -> {} bytes\n",
-        input.display(),
-        output.display(),
-        graph.node_count(),
-        graph.triple_count(),
-        vocab.len(),
-        in_bytes,
-        out_bytes,
-    ))
+    match shards {
+        None => {
+            let out =
+                std::fs::File::create(output).map_err(|e| ctx(output, e))?;
+            let (vocab, graph) = rdf_store::import_ntriples(
+                reader,
+                std::io::BufWriter::new(out),
+            )
+            .map_err(|e| ctx(input, e))?;
+            let out_bytes =
+                std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+            Ok(format!(
+                "imported {} -> {}\n  nodes {} triples {} labels {}\n  {} bytes -> {} bytes\n",
+                input.display(),
+                output.display(),
+                graph.node_count(),
+                graph.triple_count(),
+                vocab.len(),
+                in_bytes,
+                out_bytes,
+            ))
+        }
+        Some(n) => {
+            let mut vocab = Vocab::new();
+            let graph = rdf_io::parse_graph_reader(reader, &mut vocab)
+                .map_err(|e| ctx(input, e))?;
+            let paths = rdf_store::save_sharded(output, &vocab, &graph, n)
+                .map_err(|e| ctx(output, e))?;
+            let out_bytes: u64 = paths
+                .iter()
+                .map(|p| {
+                    std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
+                })
+                .sum();
+            Ok(format!(
+                "imported {} -> {} ({} shards)\n  nodes {} triples {} labels {}\n  {} bytes -> {} bytes across {} files\n",
+                input.display(),
+                output.display(),
+                n,
+                graph.node_count(),
+                graph.triple_count(),
+                vocab.len(),
+                in_bytes,
+                out_bytes,
+                paths.len(),
+            ))
+        }
+    }
 }
 
-/// `rdf export <input.rdfb> <output.nt>` — write a store back out as
-/// canonical (line-sorted) N-Triples.
+/// `rdf export <input> <output.nt>` — write a store of either layout
+/// back out as canonical (line-sorted) N-Triples.
 pub fn export(input: &Path, output: &Path) -> Result<String, CliError> {
-    let (vocab, graph) =
-        rdf_store::load_graph(input).map_err(|e| ctx(input, e))?;
+    let (vocab, graph) = open_any(input)?
+        .read_graph(Threads::Auto)
+        .map_err(|e| ctx(input, e))?;
     rdf_io::save_file(output, &graph, &vocab).map_err(|e| ctx(output, e))?;
     Ok(format!(
         "exported {} -> {}\n  nodes {} triples {}\n",
@@ -75,8 +118,9 @@ pub fn export(input: &Path, output: &Path) -> Result<String, CliError> {
     ))
 }
 
-/// `rdf info [--bisim [--threads N]] <file.rdfb>` — header, counts and
-/// per-section sizes; all checksums are verified before this returns.
+/// `rdf info [--bisim [--threads N]] <file>` — header, counts and
+/// per-section (or per-shard) sizes; all checksums — including every
+/// shard file of a manifest — are verified before this returns.
 ///
 /// With `bisim = Some(threads)`, graph stores additionally get a
 /// maximal-bisimulation summary (quotient classes and rounds) computed
@@ -86,116 +130,108 @@ pub fn info(
     input: &Path,
     bisim: Option<Threads>,
 ) -> Result<String, CliError> {
-    let reader =
-        rdf_store::StoreReader::open(input).map_err(|e| ctx(input, e))?;
-    let info = reader.info().map_err(|e| ctx(input, e))?;
-    let kind = match info.header.kind {
-        rdf_store::KIND_GRAPH => "graph store",
-        rdf_store::KIND_ARCHIVE => "archive",
-        _ => "unknown",
-    };
-    let [c0, c1, c2] = info.header.counts;
-    let counts = match info.header.kind {
-        rdf_store::KIND_GRAPH => {
-            format!("labels {c0} nodes {c1} triples {c2}")
+    match open_any(input)? {
+        AnyReader::Single(reader) => {
+            let info = reader.info().map_err(|e| ctx(input, e))?;
+            let kind = match info.header.kind {
+                rdf_store::KIND_GRAPH => "graph store",
+                rdf_store::KIND_ARCHIVE => "archive",
+                rdf_store::KIND_SHARD => {
+                    "graph shard (load via its .rdfm manifest)"
+                }
+                _ => "unknown",
+            };
+            let [c0, c1, c2] = info.header.counts;
+            let counts = match info.header.kind {
+                rdf_store::KIND_GRAPH => {
+                    format!("labels {c0} nodes {c1} triples {c2}")
+                }
+                rdf_store::KIND_ARCHIVE => {
+                    format!("versions {c0} entities {c1} distinct-triples {c2}")
+                }
+                rdf_store::KIND_SHARD => {
+                    format!("shard-index {c0} triples {c2}")
+                }
+                _ => format!("{c0} {c1} {c2}"),
+            };
+            let mut out = format!(
+                "{}: RDFB v{} {kind}, {} bytes, checksums OK\n  {counts}\n",
+                input.display(),
+                info.header.version,
+                info.file_bytes,
+            );
+            for (tag, bytes) in &info.sections {
+                out.push_str(&format!("  section {tag}  {bytes} bytes\n"));
+            }
+            if let Some(threads) = bisim {
+                if info.header.kind == rdf_store::KIND_GRAPH {
+                    // Decode from the reader's already-loaded bytes rather
+                    // than re-reading the file from disk.
+                    let (_, graph) =
+                        reader.read_graph().map_err(|e| ctx(input, e))?;
+                    out.push_str(&bisim_summary(&graph, threads));
+                } else {
+                    out.push_str(
+                        "  bisimulation: n/a (not a graph store)\n",
+                    );
+                }
+            }
+            Ok(out)
         }
-        rdf_store::KIND_ARCHIVE => {
-            format!("versions {c0} entities {c1} distinct-triples {c2}")
+        AnyReader::Sharded(reader) => {
+            // With --bisim the graph is needed anyway, so gather the
+            // info summary in the same pass instead of reading and
+            // CRC-checking every shard file twice.
+            let (info, graph) = match bisim {
+                Some(threads) => {
+                    let (info, _, graph) = reader
+                        .read_graph_with_info(threads)
+                        .map_err(|e| ctx(input, e))?;
+                    (info, Some(graph))
+                }
+                None => {
+                    (reader.info().map_err(|e| ctx(input, e))?, None)
+                }
+            };
+            let m = &info.manifest;
+            let mut out = format!(
+                "{}: RDFB v{} sharded graph store ({} shards), {} bytes \
+                 total, checksums OK\n  nodes {} triples {} seed {:#018x}\n",
+                input.display(),
+                info.version,
+                m.shards.len(),
+                info.total_bytes(),
+                m.nodes,
+                m.triples,
+                m.seed,
+            );
+            for (k, (entry, bytes)) in
+                m.shards.iter().zip(&info.shard_bytes).enumerate()
+            {
+                out.push_str(&format!(
+                    "  shard {k}: {}  triples {}  {} bytes\n",
+                    entry.name, entry.triples, bytes,
+                ));
+            }
+            if let (Some(threads), Some(graph)) = (bisim, &graph) {
+                out.push_str(&bisim_summary(graph, threads));
+            }
+            Ok(out)
         }
-        _ => format!("{c0} {c1} {c2}"),
-    };
-    let mut out = format!(
-        "{}: RDFB v{} {kind}, {} bytes, checksums OK\n  {counts}\n",
-        input.display(),
-        info.header.version,
-        info.file_bytes,
-    );
-    for (tag, bytes) in &info.sections {
-        out.push_str(&format!("  section {tag}  {bytes} bytes\n"));
     }
-    if let Some(threads) = bisim {
-        if info.header.kind == rdf_store::KIND_GRAPH {
-            // Decode from the reader's already-loaded bytes rather than
-            // re-reading the file from disk.
-            let (_, graph) =
-                reader.read_graph().map_err(|e| ctx(input, e))?;
-            let mut engine = RefineEngine::new(threads);
-            let bisim = engine.bisimulation(graph.graph());
-            out.push_str(&format!(
-                "  bisimulation: {} classes / {} nodes in {} rounds \
-                 ({} threads)\n",
-                bisim.partition.num_colors(),
-                graph.node_count(),
-                bisim.rounds,
-                engine.threads(),
-            ));
-        } else {
-            out.push_str("  bisimulation: n/a (not a graph store)\n");
-        }
-    }
-    Ok(out)
 }
 
-/// Sniff a file: `.rdfb` containers open with the `RDFB` magic, anything
-/// else is treated as N-Triples text.
-fn is_store(path: &Path) -> Result<bool, CliError> {
-    use std::io::Read;
-    let mut file = std::fs::File::open(path).map_err(|e| ctx(path, e))?;
-    let mut magic = [0u8; 4];
-    let mut got = 0usize;
-    while got < 4 {
-        match file.read(&mut magic[got..]).map_err(|e| ctx(path, e))? {
-            0 => return Ok(false),
-            n => got += n,
-        }
-    }
-    Ok(magic == rdf_store::MAGIC)
-}
-
-/// Re-express a loaded store graph's labels in `vocab` (interning each
-/// distinct dictionary entry once — `O(|dictionary|)` string work,
-/// nothing per triple).
-fn remap_into(
-    vocab: &mut Vocab,
-    store_vocab: &Vocab,
-    g: &RdfGraph,
-) -> RdfGraph {
-    let mut map = vec![LabelId::BLANK; store_vocab.len()];
-    for (i, slot) in map.iter_mut().enumerate() {
-        let id = LabelId(i as u32);
-        *slot = match store_vocab.kind(id) {
-            LabelKind::Blank => LabelId::BLANK,
-            LabelKind::Uri => vocab.uri(store_vocab.text(id)),
-            LabelKind::Literal => vocab.literal(store_vocab.text(id)),
-        };
-    }
-    let labels: Vec<LabelId> = g
-        .graph()
-        .labels_raw()
-        .iter()
-        .map(|l| map[l.index()])
-        .collect();
-    let graph = TripleGraph::from_raw_parts(
-        labels,
-        g.graph().kinds_raw().to_vec(),
-        g.graph().triples().to_vec(),
+/// Render the `info --bisim` summary line for a loaded graph.
+fn bisim_summary(graph: &rdf_model::RdfGraph, threads: Threads) -> String {
+    let mut engine = RefineEngine::new(threads);
+    let bisim = engine.bisimulation(graph.graph());
+    format!(
+        "  bisimulation: {} classes / {} nodes in {} rounds ({} threads)\n",
+        bisim.partition.num_colors(),
+        graph.node_count(),
+        bisim.rounds,
+        engine.threads(),
     )
-    .expect("remapped graph preserves structure");
-    RdfGraph::from_raw_parts(graph, g.blank_names().clone())
-}
-
-/// Load either input format into the shared session vocabulary.
-pub fn load_input(
-    path: &Path,
-    vocab: &mut Vocab,
-) -> Result<RdfGraph, CliError> {
-    if is_store(path)? {
-        let (store_vocab, graph) =
-            rdf_store::load_graph(path).map_err(|e| ctx(path, e))?;
-        Ok(remap_into(vocab, &store_vocab, &graph))
-    } else {
-        rdf_io::load_file(path, vocab).map_err(|e| ctx(path, e))
-    }
 }
 
 /// Parse a `--method` argument.
@@ -278,9 +314,10 @@ impl AlignOutcome {
 }
 
 /// `rdf align [--method M] [--theta T] [--threads N] <source> <target>`
-/// — run the full pipeline over two inputs (stores or N-Triples, mixed
-/// freely). Refinement runs on the parallel engine; the reported
-/// metrics are bit-identical for every thread count.
+/// — run the full pipeline over two inputs (single-file stores, sharded
+/// manifests or N-Triples, mixed freely). Refinement — and the sharded
+/// load, when a manifest is given — runs on the configured thread
+/// count; the reported metrics are bit-identical for every count.
 pub fn align(
     source: &Path,
     target: &Path,
@@ -290,8 +327,8 @@ pub fn align(
 ) -> Result<AlignOutcome, CliError> {
     let method = parse_method(method_name, theta)?;
     let mut vocab = Vocab::new();
-    let g1 = load_input(source, &mut vocab)?;
-    let g2 = load_input(target, &mut vocab)?;
+    let g1 = load_input_with(source, &mut vocab, threads)?;
+    let g2 = load_input_with(target, &mut vocab, threads)?;
     let aligned = pipeline_align_with(&vocab, &g1, &g2, method, threads);
     Ok(AlignOutcome {
         method: method_name.to_string(),

@@ -1,18 +1,20 @@
 //! `rdf` — the pipeline from the shell: N-Triples → store → alignment.
 //!
 //! ```text
-//! rdf import <input.nt> <output.rdfb>
-//! rdf export <input.rdfb> <output.nt>
-//! rdf info   [--bisim] [--threads N] <file.rdfb>
+//! rdf import [--shards N] <input.nt> <output>
+//! rdf export <input> <output.nt>
+//! rdf info   [--bisim] [--threads N] <file>
 //! rdf align  [--method trivial|deblank|hybrid|overlap] [--theta T]
 //!            [--threads N] <source> <target>
 //! rdf gen    [--scale F] [--versions N] --out-dir DIR
 //! ```
 //!
-//! `align` inputs may be `.rdfb` stores or N-Triples files, mixed freely
-//! (format is sniffed from the magic bytes). Refinement runs on the
-//! deterministic parallel engine: `--threads` only changes wall-clock
-//! time, never the output.
+//! Store inputs may be `.rdfb` single files or `.rdfm` sharded
+//! manifests, and `align` also accepts N-Triples files, mixed freely
+//! (format is resolved from the magic bytes and container kind).
+//! Refinement — and the sharded load — runs on the deterministic
+//! parallel engine: `--threads` only changes wall-clock time, never the
+//! output.
 
 use rdf_align::Threads;
 use std::path::PathBuf;
@@ -22,14 +24,20 @@ const USAGE: &str = "\
 usage: rdf <command> [options]
 
 commands:
-  import <input.nt> <output.rdfb>   parse N-Triples (streaming) into a store
-  export <input.rdfb> <output.nt>   write a store as canonical N-Triples
-  info   [--bisim] [--threads N] <file.rdfb>
-                                    header, counts, sections, checksums;
-                                    --bisim adds a maximal-bisimulation
-                                    summary (graph stores)
+  import [--shards N] <input.nt> <output>
+                                    parse N-Triples (streaming) into a
+                                    store: one .rdfb file, or with
+                                    --shards N a .rdfm manifest plus N
+                                    subject-hash-partitioned shards
+  export <input> <output.nt>        write a store (single-file or
+                                    sharded) as canonical N-Triples
+  info   [--bisim] [--threads N] <file>
+                                    header, counts, sections/shards,
+                                    checksums; --bisim adds a maximal-
+                                    bisimulation summary (graph stores)
   align  [--method M] [--theta T] [--threads N] <source> <target>
-                                    align two graphs (stores or N-Triples);
+                                    align two graphs (stores, manifests
+                                    or N-Triples, mixed freely);
                                     M = trivial|deblank|hybrid|overlap
                                     (default hybrid)
   gen    [--scale F] [--versions N] --out-dir DIR
@@ -61,8 +69,32 @@ fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
     match cmd.as_str() {
         "import" => {
-            let [input, output] = two_paths(rest, "import")?;
-            rdf_cli::import(&input, &output).map_err(|e| e.to_string())
+            let mut shards: Option<usize> = None;
+            let mut inputs: Vec<PathBuf> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--shards" => {
+                        let n = it
+                            .next()
+                            .ok_or("--shards needs a count")?
+                            .parse::<usize>()
+                            .map_err(|_| "--shards needs a count")?;
+                        if n == 0 {
+                            return Err(
+                                "--shards needs a positive count".into()
+                            );
+                        }
+                        shards = Some(n);
+                    }
+                    other => inputs.push(PathBuf::from(other)),
+                }
+            }
+            let [input, output]: [PathBuf; 2] = inputs
+                .try_into()
+                .map_err(|_| "import takes exactly two paths")?;
+            rdf_cli::import(&input, &output, shards)
+                .map_err(|e| e.to_string())
         }
         "export" => {
             let [input, output] = two_paths(rest, "export")?;

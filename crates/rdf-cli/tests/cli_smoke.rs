@@ -60,6 +60,17 @@ fn s(p: &Path) -> &str {
     p.to_str().unwrap()
 }
 
+/// The metric lines of an alignment report: everything except the
+/// source/target path lines, which legitimately differ across input
+/// layouts pointing at the same graphs.
+fn metrics(r: &str) -> Vec<String> {
+    r.lines()
+        .filter(|l| l.contains(':'))
+        .filter(|l| !l.contains("source:") && !l.contains("target:"))
+        .map(str::to_owned)
+        .collect()
+}
+
 #[test]
 fn full_pipeline_matches_in_process_alignment() {
     let dir = TempDir::new("pipeline");
@@ -196,14 +207,156 @@ fn full_pipeline_matches_in_process_alignment() {
     // (only the input paths in the heading differ).
     let nt_report =
         run_ok(&["align", "--method", "hybrid", s(&v1_nt), s(&v2_nt)]);
-    let metrics = |r: &str| {
-        r.lines()
-            .filter(|l| l.contains(':'))
-            .filter(|l| !l.contains("source:") && !l.contains("target:"))
-            .map(str::to_owned)
-            .collect::<Vec<_>>()
-    };
     assert_eq!(metrics(&cli_report), metrics(&nt_report));
+}
+
+#[test]
+fn sharded_flow_matches_single_file_flow() {
+    let dir = TempDir::new("sharded");
+    run_ok(&[
+        "gen",
+        "--scale",
+        "0.2",
+        "--versions",
+        "2",
+        "--out-dir",
+        s(&dir.0),
+    ]);
+    let v1_nt = dir.path("efo-v1.nt");
+    let v2_nt = dir.path("efo-v2.nt");
+
+    // Import each version twice: single-file and 4-way sharded.
+    let v1_store = dir.path("v1.rdfb");
+    let v2_store = dir.path("v2.rdfb");
+    run_ok(&["import", s(&v1_nt), s(&v1_store)]);
+    run_ok(&["import", s(&v2_nt), s(&v2_store)]);
+    let v1_man = dir.path("v1.rdfm");
+    let v2_man = dir.path("v2.rdfm");
+    let imp = run_ok(&["import", "--shards", "4", s(&v1_nt), s(&v1_man)]);
+    assert!(imp.contains("(4 shards)"), "got: {imp}");
+    run_ok(&["import", "--shards", "4", s(&v2_nt), s(&v2_man)]);
+    for k in 0..4 {
+        assert!(
+            dir.path(&format!("v1-shard-{k}.rdfb")).exists(),
+            "shard {k} written"
+        );
+    }
+
+    // info validates the manifest and every shard file.
+    let info_out = run_ok(&["info", s(&v1_man)]);
+    assert!(info_out.contains("sharded graph store (4 shards)"));
+    assert!(info_out.contains("checksums OK"));
+    for k in 0..4 {
+        assert!(
+            info_out.contains(&format!("shard {k}: v1-shard-{k}.rdfb")),
+            "info lists shard {k}: {info_out}"
+        );
+    }
+    // info on a bare shard file identifies it and points at the
+    // manifest (a shard alone is not a loadable graph).
+    let shard_info = run_ok(&["info", s(&dir.path("v1-shard-0.rdfb"))]);
+    assert!(
+        shard_info.contains("graph shard") && shard_info.contains(".rdfm"),
+        "got: {shard_info}"
+    );
+
+    // The single-file and manifest node/triple counts agree.
+    let single_info = run_ok(&["info", s(&v1_store)]);
+    let pick = |r: &str, key: &str| -> String {
+        r.lines()
+            .find(|l| l.contains(key))
+            .unwrap_or_default()
+            .split(key)
+            .nth(1)
+            .unwrap_or_default()
+            .split_whitespace()
+            .next()
+            .unwrap_or_default()
+            .to_owned()
+    };
+    assert_eq!(
+        pick(&info_out, "nodes "),
+        pick(&single_info, "nodes ")
+    );
+    assert_eq!(
+        pick(&info_out, "triples "),
+        pick(&single_info, "triples ")
+    );
+
+    // export(manifest) == export(single store), byte for byte.
+    let from_single = dir.path("single.nt");
+    let from_sharded = dir.path("sharded.nt");
+    run_ok(&["export", s(&v1_store), s(&from_single)]);
+    run_ok(&["export", s(&v1_man), s(&from_sharded)]);
+    assert_eq!(
+        std::fs::read(&from_single).unwrap(),
+        std::fs::read(&from_sharded).unwrap(),
+        "sharded export diverged from single-file export"
+    );
+
+    // align over manifests: metrics byte-identical to the single-file
+    // flow (only the source/target path lines differ), at 1 and 4
+    // threads, and identical to the in-process pipeline.
+    let single_report =
+        run_ok(&["align", "--method", "hybrid", s(&v1_store), s(&v2_store)]);
+    for t in ["1", "4"] {
+        let sharded_report = run_ok(&[
+            "align", "--method", "hybrid", "--threads", t,
+            s(&v1_man), s(&v2_man),
+        ]);
+        assert_eq!(
+            metrics(&single_report),
+            metrics(&sharded_report),
+            "sharded align metrics diverged at {t} threads"
+        );
+    }
+    let outcome = rdf_cli::align(
+        &v1_man,
+        &v2_man,
+        "hybrid",
+        None,
+        rdf_align::Threads::Auto,
+    )
+    .unwrap();
+    let cli_report =
+        run_ok(&["align", "--method", "hybrid", s(&v1_man), s(&v2_man)]);
+    assert_eq!(cli_report, outcome.render());
+
+    // info --bisim over the manifest agrees with the single store.
+    let bisim_sharded =
+        run_ok(&["info", "--bisim", "--threads", "2", s(&v1_man)]);
+    let bisim_single =
+        run_ok(&["info", "--bisim", "--threads", "2", s(&v1_store)]);
+    let bisim_line = |r: &str| {
+        r.lines()
+            .find(|l| l.contains("bisimulation:"))
+            .map(str::to_owned)
+            .expect("report has a bisimulation line")
+    };
+    assert_eq!(bisim_line(&bisim_sharded), bisim_line(&bisim_single));
+
+    // Corrupting one shard fails loudly with the shard named.
+    let shard = dir.path("v1-shard-2.rdfb");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let at = bytes.len() - 1;
+    bytes[at] ^= 0xff;
+    std::fs::write(&shard, bytes).unwrap();
+    let err = run_err(&["info", s(&v1_man)]);
+    assert!(
+        err.contains("v1-shard-2.rdfb") && err.contains("checksum"),
+        "got: {err}"
+    );
+    // And a missing shard is a typed error too.
+    std::fs::remove_file(&shard).unwrap();
+    let err = run_err(&["align", s(&v1_man), s(&v2_man)]);
+    assert!(err.contains("v1-shard-2.rdfb"), "got: {err}");
+
+    // Invalid --shards values are rejected up front.
+    let err = run_err(&["import", "--shards", "0", s(&v1_nt), s(&v1_man)]);
+    assert!(err.contains("--shards"), "got: {err}");
+    let err =
+        run_err(&["import", "--shards", "lots", s(&v1_nt), s(&v1_man)]);
+    assert!(err.contains("--shards"), "got: {err}");
 }
 
 #[test]

@@ -45,7 +45,7 @@ pub use graph::{
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use label::{LabelId, LabelKind, LabelRef, Vocab};
-pub use rdf::{RdfError, RdfGraph, RdfGraphBuilder, Term};
+pub use rdf::{rebase_into, RdfError, RdfGraph, RdfGraphBuilder, Term};
 pub use stats::GraphStats;
 pub use truth::GroundTruth;
 pub use union::{CombinedGraph, Side};

@@ -119,6 +119,43 @@ impl RdfGraph {
     }
 }
 
+/// Re-express `graph`'s labels in `vocab`, interning each distinct label
+/// of `from` at most once — `O(|dictionary|)` string work, nothing per
+/// node or per triple.
+///
+/// This is how a graph deserialised against its own store dictionary
+/// joins a shared session vocabulary (the alignment pipeline requires
+/// both versions to share one [`Vocab`]). Node ids, triples and blank
+/// names are preserved verbatim; only label ids are rewritten.
+pub fn rebase_into(
+    vocab: &mut Vocab,
+    from: &Vocab,
+    graph: &RdfGraph,
+) -> RdfGraph {
+    let mut map = vec![LabelId::BLANK; from.len()];
+    for (i, slot) in map.iter_mut().enumerate() {
+        let id = LabelId(i as u32);
+        *slot = match from.kind(id) {
+            LabelKind::Blank => LabelId::BLANK,
+            LabelKind::Uri => vocab.uri(from.text(id)),
+            LabelKind::Literal => vocab.literal(from.text(id)),
+        };
+    }
+    let labels: Vec<LabelId> = graph
+        .graph()
+        .labels_raw()
+        .iter()
+        .map(|l| map[l.index()])
+        .collect();
+    let rebased = TripleGraph::from_raw_parts(
+        labels,
+        graph.graph().kinds_raw().to_vec(),
+        graph.graph().triples().to_vec(),
+    )
+    .expect("rebased graph preserves structure");
+    RdfGraph::from_raw_parts(rebased, graph.blank_names().clone())
+}
+
 /// Builder enforcing RDF invariants; terms are deduplicated so that each
 /// URI/literal label yields exactly one node.
 pub struct RdfGraphBuilder<'v> {
@@ -374,6 +411,42 @@ mod tests {
             .unwrap_err();
         let g = b.finish();
         assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn rebase_preserves_structure_and_shares_labels() {
+        // Build a graph against its own vocab (as a store load does)…
+        let mut own = Vocab::new();
+        let g = {
+            let mut b = RdfGraphBuilder::new(&mut own);
+            b.uub("ss", "address", "b1");
+            b.bul("b1", "zip", "EH8");
+            b.finish()
+        };
+        // …then rebase it into a session vocab that already holds some
+        // of the labels at different ids.
+        let mut session = Vocab::new();
+        session.uri("unrelated");
+        let zip = session.uri("zip");
+        let rebased = rebase_into(&mut session, &own, &g);
+        assert_eq!(rebased.node_count(), g.node_count());
+        assert_eq!(rebased.graph().triples(), g.graph().triples());
+        assert_eq!(rebased.graph().kinds_raw(), g.graph().kinds_raw());
+        assert_eq!(rebased.blank_names(), g.blank_names());
+        // The shared label resolves to the session's existing id.
+        let zip_node = g
+            .graph()
+            .nodes()
+            .find(|&n| own.text(g.graph().label(n)) == "zip")
+            .unwrap();
+        assert_eq!(rebased.graph().label(zip_node), zip);
+        // Rebasing into a fresh vocab twice is idempotent on label text.
+        for n in g.graph().nodes() {
+            assert_eq!(
+                session.text(rebased.graph().label(n)),
+                own.text(g.graph().label(n))
+            );
+        }
     }
 
     #[test]

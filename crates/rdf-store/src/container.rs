@@ -34,6 +34,14 @@ pub const KIND_GRAPH: u8 = 1;
 /// Content kind: a multi-version archive.
 pub const KIND_ARCHIVE: u8 = 2;
 
+/// Content kind: a sharded-store manifest (global dictionary + shard
+/// directory; the triples live in [`KIND_SHARD`] files).
+pub const KIND_MANIFEST: u8 = 3;
+
+/// Content kind: one shard of a sharded graph store (a subject-hash
+/// partition of the triple set; meaningless without its manifest).
+pub const KIND_SHARD: u8 = 4;
+
 /// Size of the fixed header in bytes.
 pub const HEADER_LEN: usize = 32;
 

@@ -48,6 +48,23 @@ pub enum StoreError {
         /// Tag of the missing section.
         section: [u8; 4],
     },
+    /// A shard file named by a manifest does not exist on disk.
+    MissingShard {
+        /// Path of the absent shard file.
+        path: String,
+    },
+    /// A shard file's bytes disagree with the whole-file CRC recorded
+    /// in its manifest entry (the file was replaced, reordered or
+    /// damaged as a unit — finer-grained damage is caught by the
+    /// shard's own section checksums).
+    ShardChecksumMismatch {
+        /// Shard file name as listed in the manifest.
+        shard: String,
+        /// CRC recorded in the manifest.
+        stored: u32,
+        /// CRC computed over the file actually read.
+        computed: u32,
+    },
     /// Structurally invalid content (bad counts, out-of-range ids,
     /// inconsistent dictionaries, …).
     Corrupt(String),
@@ -99,6 +116,18 @@ impl fmt::Display for StoreError {
             StoreError::MissingSection { section } => {
                 write!(f, "required section {:?} missing", tag_str(section))
             }
+            StoreError::MissingShard { path } => {
+                write!(f, "shard file {path} is missing")
+            }
+            StoreError::ShardChecksumMismatch {
+                shard,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "shard {shard} checksum mismatch: manifest records \
+                 {stored:#010x}, file computes {computed:#010x}"
+            ),
             StoreError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
         }
     }

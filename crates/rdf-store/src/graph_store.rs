@@ -15,6 +15,13 @@
 //! the parse's interning order, and `load(save(parse(text)))` rebuilds a
 //! graph byte-identical to `parse(text)` — same node ids, same label ids,
 //! same CSR layout — without hashing a single string per node or triple.
+//!
+//! The section bodies are format primitives shared with the *sharded*
+//! layout ([`crate::sharded`]): a manifest carries the same `DICT` /
+//! `NODE` / `BNAM` sections once, globally, while each shard file holds
+//! a `TRPL` section encoding its subject-partition. The encode/decode
+//! helpers below are therefore the single source of truth for both
+//! layouts — byte-identical stitching falls out by construction.
 
 use crate::container::{
     Container, ContainerWriter, Header, KIND_GRAPH, SECTION_OVERHEAD,
@@ -25,15 +32,229 @@ use crate::varint::{
     read_varint_u32, read_varint_usize, write_varint,
 };
 use rdf_model::{
-    FxHashMap, LabelId, NodeId, RdfGraph, Triple, TripleGraph, Vocab,
+    FxHashMap, LabelId, LabelKind, NodeId, RdfGraph, Triple, TripleGraph,
+    Vocab,
 };
 use std::io::Write;
 use std::path::Path;
 
-const TAG_DICT: [u8; 4] = *b"DICT";
-const TAG_NODE: [u8; 4] = *b"NODE";
-const TAG_TRPL: [u8; 4] = *b"TRPL";
-const TAG_BNAM: [u8; 4] = *b"BNAM";
+pub(crate) const TAG_DICT: [u8; 4] = *b"DICT";
+pub(crate) const TAG_NODE: [u8; 4] = *b"NODE";
+pub(crate) const TAG_TRPL: [u8; 4] = *b"TRPL";
+pub(crate) const TAG_BNAM: [u8; 4] = *b"BNAM";
+
+/// The encoded graph-global section bodies (everything except triples):
+/// dictionary, per-node labels, and blank-node names. One instance is
+/// written per graph regardless of how many files the triples span.
+pub(crate) struct GlobalSections {
+    pub dict: Vec<u8>,
+    pub node: Vec<u8>,
+    pub bnam: Vec<u8>,
+    /// Number of dictionary entries (including the implicit blank).
+    pub dict_count: u64,
+}
+
+/// Encode the `DICT`, `NODE` and `BNAM` bodies for a graph, remapping
+/// label ids onto a dense dictionary (0 stays the blank label, the rest
+/// keep their relative first-interned order — a graph parsed into a
+/// fresh vocab maps identically).
+pub(crate) fn encode_global_sections(
+    vocab: &Vocab,
+    graph: &RdfGraph,
+) -> Result<GlobalSections, StoreError> {
+    let g = graph.graph();
+
+    let mut used: Vec<LabelId> = g.labels_raw().to_vec();
+    used.sort_unstable();
+    used.dedup();
+    if used.first() != Some(&LabelId::BLANK) {
+        used.insert(0, LabelId::BLANK);
+    }
+    let mut dense = vec![u32::MAX; vocab.len()];
+    for (new, old) in used.iter().enumerate() {
+        dense[old.index()] = new as u32;
+    }
+
+    let mut dict = Vec::new();
+    write_dict(&mut dict, vocab, used[1..].iter().copied())?;
+
+    let mut node = Vec::new();
+    write_varint(&mut node, g.node_count() as u64);
+    for &label in g.labels_raw() {
+        write_varint(&mut node, u64::from(dense[label.index()]));
+    }
+
+    let mut names: Vec<(NodeId, &str)> = graph
+        .blank_names()
+        .iter()
+        .map(|(&n, s)| (n, s.as_str()))
+        .collect();
+    names.sort_unstable_by_key(|&(n, _)| n);
+    let mut bnam = Vec::new();
+    write_varint(&mut bnam, names.len() as u64);
+    let mut prev = 0u32;
+    for (n, name) in names {
+        write_varint(&mut bnam, u64::from(n.0 - prev));
+        prev = n.0;
+        write_varint(&mut bnam, name.len() as u64);
+        bnam.extend_from_slice(name.as_bytes());
+    }
+
+    Ok(GlobalSections {
+        dict,
+        node,
+        bnam,
+        dict_count: used.len() as u64,
+    })
+}
+
+/// Encode a `TRPL` body: varint count, then varint-deltas over the
+/// `(s, p, o)` sequence. The input must be sorted ascending (as graph
+/// triple lists and their subject-partitioned slices always are).
+pub(crate) fn encode_trpl(triples: &[Triple]) -> Vec<u8> {
+    let mut trpl = Vec::new();
+    write_varint(&mut trpl, triples.len() as u64);
+    let (mut prev_s, mut prev_p, mut prev_o) = (0u32, 0u32, 0u32);
+    for t in triples {
+        let ds = t.s.0 - prev_s;
+        if ds > 0 {
+            prev_p = 0;
+            prev_o = 0;
+        }
+        let dp = t.p.0 - prev_p;
+        if dp > 0 {
+            prev_o = 0;
+        }
+        let dobj = t.o.0 - prev_o;
+        write_varint(&mut trpl, u64::from(ds));
+        write_varint(&mut trpl, u64::from(dp));
+        write_varint(&mut trpl, u64::from(dobj));
+        (prev_s, prev_p, prev_o) = (t.s.0, t.p.0, t.o.0);
+    }
+    trpl
+}
+
+/// Decode a `NODE` body into per-node labels + kinds against `vocab`.
+/// With `expected`, the embedded node count must match it exactly.
+pub(crate) fn decode_node(
+    node: &[u8],
+    vocab: &Vocab,
+    expected: Option<u64>,
+) -> Result<(Vec<LabelId>, Vec<LabelKind>), StoreError> {
+    let mut pos = 0usize;
+    let node_count = read_varint_usize(node, &mut pos)?;
+    if let Some(exp) = expected {
+        if node_count as u64 != exp {
+            return Err(StoreError::Corrupt(format!(
+                "node count {node_count} disagrees with header {exp}"
+            )));
+        }
+    }
+    // Counts are untrusted: reserve no more than the payload could
+    // encode (>= 1 byte per node), however large the claim.
+    let cap = node_count.min(node.len() - pos);
+    let mut labels = Vec::with_capacity(cap);
+    let mut node_kinds = Vec::with_capacity(cap);
+    for _ in 0..node_count {
+        let id = read_varint_u32(node, &mut pos)?;
+        if id as usize >= vocab.len() {
+            return Err(StoreError::Corrupt(format!(
+                "node label id {id} beyond dictionary of {}",
+                vocab.len()
+            )));
+        }
+        let label = LabelId(id);
+        labels.push(label);
+        node_kinds.push(vocab.kind(label));
+    }
+    Ok((labels, node_kinds))
+}
+
+/// Decode a `TRPL` body (delta decode mirrors the writer exactly). With
+/// `expected`, the embedded triple count must match it exactly.
+pub(crate) fn decode_trpl(
+    trpl: &[u8],
+    expected: Option<u64>,
+) -> Result<Vec<Triple>, StoreError> {
+    let mut pos = 0usize;
+    let triple_count = read_varint_usize(trpl, &mut pos)?;
+    if let Some(exp) = expected {
+        if triple_count as u64 != exp {
+            return Err(StoreError::Corrupt(format!(
+                "triple count {triple_count} disagrees with header {exp}"
+            )));
+        }
+    }
+    // >= 3 bytes per triple, so cap the reservation the same way.
+    let mut triples =
+        Vec::with_capacity(triple_count.min((trpl.len() - pos) / 3 + 1));
+    let (mut s, mut p, mut o) = (0u32, 0u32, 0u32);
+    for _ in 0..triple_count {
+        let ds = read_varint_u32(trpl, &mut pos)?;
+        if ds > 0 {
+            p = 0;
+            o = 0;
+        }
+        let dp = read_varint_u32(trpl, &mut pos)?;
+        if dp > 0 {
+            o = 0;
+        }
+        let dobj = read_varint_u32(trpl, &mut pos)?;
+        s = s.checked_add(ds).ok_or_else(overflow)?;
+        p = p.checked_add(dp).ok_or_else(overflow)?;
+        o = o.checked_add(dobj).ok_or_else(overflow)?;
+        triples.push(Triple::new(NodeId(s), NodeId(p), NodeId(o)));
+    }
+    Ok(triples)
+}
+
+/// Decode a `BNAM` body into the blank-name map; node ids must stay
+/// within `node_count`.
+pub(crate) fn decode_bnam(
+    bnam: &[u8],
+    node_count: usize,
+) -> Result<FxHashMap<NodeId, String>, StoreError> {
+    let mut pos = 0usize;
+    let name_count = read_varint_usize(bnam, &mut pos)?;
+    let mut blank_names = FxHashMap::default();
+    let mut prev = 0u32;
+    for i in 0..name_count {
+        let delta = read_varint_u32(bnam, &mut pos)?;
+        if i > 0 && delta == 0 {
+            return Err(StoreError::Corrupt(
+                "duplicate blank-name node id".into(),
+            ));
+        }
+        prev = prev.checked_add(delta).ok_or_else(overflow)?;
+        if prev as usize >= node_count {
+            return Err(StoreError::Corrupt(format!(
+                "blank name for node {prev} beyond node count {node_count}"
+            )));
+        }
+        let name = read_string(bnam, &mut pos, "blank-node name")?;
+        blank_names.insert(NodeId(prev), name);
+    }
+    Ok(blank_names)
+}
+
+/// Decode a `DICT` body into a fresh vocabulary. With `expected`, the
+/// dictionary entry count must match it exactly.
+pub(crate) fn decode_dict_checked(
+    dict: &[u8],
+    expected: Option<u64>,
+) -> Result<Vocab, StoreError> {
+    let mut pos = 0usize;
+    let vocab = read_dict(dict, &mut pos)?;
+    if let Some(exp) = expected {
+        if vocab.len() as u64 != exp {
+            return Err(StoreError::Corrupt(format!(
+                "dictionary count {} disagrees with header {exp}",
+                vocab.len()
+            )));
+        }
+    }
+    Ok(vocab)
+}
 
 /// Writes graph containers to any [`Write`] sink.
 #[derive(Debug)]
@@ -55,73 +276,19 @@ impl<W: Write> StoreWriter<W> {
         graph: &RdfGraph,
     ) -> Result<W, StoreError> {
         let g = graph.graph();
+        let global = encode_global_sections(vocab, graph)?;
+        let trpl = encode_trpl(g.triples());
 
-        // Remap the graph's label ids onto a dense dictionary: 0 stays the
-        // blank label, the rest keep their relative (= first-interned)
-        // order. A graph parsed into a fresh vocab maps identically.
-        let mut used: Vec<LabelId> = g.labels_raw().to_vec();
-        used.sort_unstable();
-        used.dedup();
-        if used.first() != Some(&LabelId::BLANK) {
-            used.insert(0, LabelId::BLANK);
-        }
-        let mut dense = vec![u32::MAX; vocab.len()];
-        for (new, old) in used.iter().enumerate() {
-            dense[old.index()] = new as u32;
-        }
-
-        let mut dict = Vec::new();
-        write_dict(&mut dict, vocab, used[1..].iter().copied())?;
-
-        let mut nodes = Vec::new();
-        write_varint(&mut nodes, g.node_count() as u64);
-        for &label in g.labels_raw() {
-            write_varint(&mut nodes, u64::from(dense[label.index()]));
-        }
-
-        let mut trpl = Vec::new();
-        write_varint(&mut trpl, g.triple_count() as u64);
-        let (mut prev_s, mut prev_p, mut prev_o) = (0u32, 0u32, 0u32);
-        for t in g.triples() {
-            let ds = t.s.0 - prev_s;
-            if ds > 0 {
-                prev_p = 0;
-                prev_o = 0;
-            }
-            let dp = t.p.0 - prev_p;
-            if dp > 0 {
-                prev_o = 0;
-            }
-            let dobj = t.o.0 - prev_o;
-            write_varint(&mut trpl, u64::from(ds));
-            write_varint(&mut trpl, u64::from(dp));
-            write_varint(&mut trpl, u64::from(dobj));
-            (prev_s, prev_p, prev_o) = (t.s.0, t.p.0, t.o.0);
-        }
-
-        let mut names: Vec<(NodeId, &str)> = graph
-            .blank_names()
-            .iter()
-            .map(|(&n, s)| (n, s.as_str()))
-            .collect();
-        names.sort_unstable_by_key(|&(n, _)| n);
-        let mut bnam = Vec::new();
-        write_varint(&mut bnam, names.len() as u64);
-        let mut prev = 0u32;
-        for (n, name) in names {
-            write_varint(&mut bnam, u64::from(n.0 - prev));
-            prev = n.0;
-            write_varint(&mut bnam, name.len() as u64);
-            bnam.extend_from_slice(name.as_bytes());
-        }
-
-        let counts =
-            [used.len() as u64, g.node_count() as u64, g.triple_count() as u64];
+        let counts = [
+            global.dict_count,
+            g.node_count() as u64,
+            g.triple_count() as u64,
+        ];
         let mut w = ContainerWriter::new();
-        w.section(TAG_DICT, dict)
-            .section(TAG_NODE, nodes)
+        w.section(TAG_DICT, global.dict)
+            .section(TAG_NODE, global.node)
             .section(TAG_TRPL, trpl)
-            .section(TAG_BNAM, bnam);
+            .section(TAG_BNAM, global.bnam);
         w.finish(&mut self.out, KIND_GRAPH, counts)?;
         self.out.flush()?;
         Ok(self.out)
@@ -196,76 +363,17 @@ impl StoreReader {
             });
         }
 
-        // DICT → Vocab.
-        let dict = c.section(TAG_DICT)?;
-        let mut pos = 0usize;
-        let vocab = read_dict(dict, &mut pos)?;
-        if vocab.len() as u64 != header.counts[0] {
-            return Err(StoreError::Corrupt(format!(
-                "dictionary count {} disagrees with header {}",
-                vocab.len(),
-                header.counts[0]
-            )));
-        }
-
-        // NODE → per-node labels + kinds.
-        let node = c.section(TAG_NODE)?;
-        let mut pos = 0usize;
-        let node_count = read_varint_usize(node, &mut pos)?;
-        if node_count as u64 != header.counts[1] {
-            return Err(StoreError::Corrupt(format!(
-                "node count {} disagrees with header {}",
-                node_count, header.counts[1]
-            )));
-        }
-        // Counts are untrusted: reserve no more than the payload could
-        // encode (>= 1 byte per node), however large the claim.
-        let cap = node_count.min(node.len() - pos);
-        let mut labels = Vec::with_capacity(cap);
-        let mut node_kinds = Vec::with_capacity(cap);
-        for _ in 0..node_count {
-            let id = read_varint_u32(node, &mut pos)?;
-            if id as usize >= vocab.len() {
-                return Err(StoreError::Corrupt(format!(
-                    "node label id {id} beyond dictionary of {}",
-                    vocab.len()
-                )));
-            }
-            let label = LabelId(id);
-            labels.push(label);
-            node_kinds.push(vocab.kind(label));
-        }
-
-        // TRPL → triples (delta decode mirrors the writer exactly).
-        let trpl = c.section(TAG_TRPL)?;
-        let mut pos = 0usize;
-        let triple_count = read_varint_usize(trpl, &mut pos)?;
-        if triple_count as u64 != header.counts[2] {
-            return Err(StoreError::Corrupt(format!(
-                "triple count {} disagrees with header {}",
-                triple_count, header.counts[2]
-            )));
-        }
-        // >= 3 bytes per triple, so cap the reservation the same way.
-        let mut triples =
-            Vec::with_capacity(triple_count.min((trpl.len() - pos) / 3 + 1));
-        let (mut s, mut p, mut o) = (0u32, 0u32, 0u32);
-        for _ in 0..triple_count {
-            let ds = read_varint_u32(trpl, &mut pos)?;
-            if ds > 0 {
-                p = 0;
-                o = 0;
-            }
-            let dp = read_varint_u32(trpl, &mut pos)?;
-            if dp > 0 {
-                o = 0;
-            }
-            let dobj = read_varint_u32(trpl, &mut pos)?;
-            s = s.checked_add(ds).ok_or_else(overflow)?;
-            p = p.checked_add(dp).ok_or_else(overflow)?;
-            o = o.checked_add(dobj).ok_or_else(overflow)?;
-            triples.push(Triple::new(NodeId(s), NodeId(p), NodeId(o)));
-        }
+        let vocab =
+            decode_dict_checked(c.section(TAG_DICT)?, Some(header.counts[0]))?;
+        let (labels, node_kinds) = decode_node(
+            c.section(TAG_NODE)?,
+            &vocab,
+            Some(header.counts[1]),
+        )?;
+        let node_count = labels.len();
+        let triples =
+            decode_trpl(c.section(TAG_TRPL)?, Some(header.counts[2]))?;
+        let triple_count = triples.len();
         let graph = TripleGraph::from_raw_parts(labels, node_kinds, triples)
             .map_err(|e| StoreError::Corrupt(e.to_string()))?;
         if graph.triple_count() != triple_count {
@@ -273,35 +381,12 @@ impl StoreReader {
                 "duplicate triples in store".into(),
             ));
         }
-
-        // BNAM → blank-node names.
-        let bnam = c.section(TAG_BNAM)?;
-        let mut pos = 0usize;
-        let name_count = read_varint_usize(bnam, &mut pos)?;
-        let mut blank_names = FxHashMap::default();
-        let mut prev = 0u32;
-        for i in 0..name_count {
-            let delta = read_varint_u32(bnam, &mut pos)?;
-            if i > 0 && delta == 0 {
-                return Err(StoreError::Corrupt(
-                    "duplicate blank-name node id".into(),
-                ));
-            }
-            prev = prev.checked_add(delta).ok_or_else(overflow)?;
-            if prev as usize >= node_count {
-                return Err(StoreError::Corrupt(format!(
-                    "blank name for node {prev} beyond node count {node_count}"
-                )));
-            }
-            let name = read_string(bnam, &mut pos, "blank-node name")?;
-            blank_names.insert(NodeId(prev), name);
-        }
-
+        let blank_names = decode_bnam(c.section(TAG_BNAM)?, node_count)?;
         Ok((vocab, RdfGraph::from_raw_parts(graph, blank_names)))
     }
 }
 
-fn overflow() -> StoreError {
+pub(crate) fn overflow() -> StoreError {
     StoreError::Corrupt("id delta overflows u32".into())
 }
 

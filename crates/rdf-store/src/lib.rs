@@ -14,6 +14,11 @@
 //!   re-interned, once per distinct label);
 //! * [`import_ntriples`] — stream N-Triples from any `BufRead` into a
 //!   store without materialising the document;
+//! * [`sharded`] — the sharded layout: a `.rdfm` manifest (global
+//!   dictionary + shard directory) plus N subject-hash-partitioned
+//!   `.rdfb` shard files, loaded concurrently and stitched
+//!   bit-identically to the single-file load ([`save_sharded`],
+//!   [`ShardedReader`], [`open_any`]);
 //! * [`container`] — the generic section framing, reused by
 //!   `rdf-archive` for persistent archives.
 //!
@@ -42,11 +47,12 @@ pub mod dict;
 pub mod error;
 pub mod graph_store;
 pub mod import;
+pub mod sharded;
 pub mod varint;
 
 pub use container::{
     Container, ContainerWriter, Header, FORMAT_VERSION, KIND_ARCHIVE,
-    KIND_GRAPH, MAGIC,
+    KIND_GRAPH, KIND_MANIFEST, KIND_SHARD, MAGIC,
 };
 pub use error::StoreError;
 pub use graph_store::{
@@ -54,3 +60,8 @@ pub use graph_store::{
     StoreWriter,
 };
 pub use import::{import_ntriples, ImportError};
+pub use sharded::{
+    open_any, save_sharded, shard_of, AnyReader, Manifest, ShardEntry,
+    ShardedInfo, ShardedReader, ShardedWriter, DEFAULT_SHARD_SEED,
+    TAG_SHRD,
+};

@@ -1,7 +1,7 @@
 //! Deltas from alignments.
 //!
 //! The paper's related work notes that "constructing an alignment between
-//! two graphs is virtually equivalent to constructing their delta [20]" —
+//! two graphs is virtually equivalent to constructing their delta \[20\]" —
 //! a description of the changes between versions. This module derives
 //! that delta: once the alignment identifies corresponding nodes, every
 //! triple is classified as *kept* (its color triple appears on both

@@ -119,6 +119,27 @@ struct GangState {
 /// Construct once (per pipeline, CLI invocation, or benchmark) and feed
 /// it every fixpoint run. Output partitions are bit-identical for every
 /// thread count (see the module docs for why).
+///
+/// ```
+/// use rdf_align::{RefineEngine, Threads};
+/// use rdf_model::{RdfGraphBuilder, Vocab};
+///
+/// let mut vocab = Vocab::new();
+/// let g = {
+///     let mut b = RdfGraphBuilder::new(&mut vocab);
+///     b.uub("w", "p", "b1");   // w  -p-> _:b1
+///     b.bul("b1", "q", "a");   // b1 -q-> "a"
+///     b.bul("b2", "q", "a");   // b2 -q-> "a"   (bisimilar to b1)
+///     b.finish()
+/// };
+/// let mut engine = RefineEngine::new(Threads::Fixed(2));
+/// let out = engine.bisimulation(g.graph());
+/// let blanks = g.graph().blanks();
+/// assert!(out.partition.same_class(blanks[0], blanks[1]));
+/// // Determinism: any thread count produces the identical coloring.
+/// let again = RefineEngine::new(Threads::Fixed(1)).bisimulation(g.graph());
+/// assert_eq!(out.partition.colors(), again.partition.colors());
+/// ```
 #[derive(Debug)]
 pub struct RefineEngine {
     threads: usize,

@@ -34,7 +34,7 @@ pub enum LiteralChar {
     Words,
     /// Character q-grams (padded): catches single-token edits at the
     /// cost of larger object sets. `3` is the classic choice from the
-    /// entity-resolution literature the paper cites [8].
+    /// entity-resolution literature the paper cites \[8\].
     Ngrams(u8),
 }
 

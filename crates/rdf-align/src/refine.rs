@@ -79,8 +79,16 @@ pub fn bisim_refine_fixpoint_mask(
 /// The node-labelling partition `ℓ_G`: nodes grouped by label, all blank
 /// nodes in a single class (the initial partition of Proposition 1).
 pub fn label_partition(g: &TripleGraph) -> Partition {
-    let labels: Vec<u32> = g.nodes().map(|n| g.label(n).0).collect();
-    Partition::from_colors(&labels)
+    label_partition_from(g.labels_raw())
+}
+
+/// [`label_partition`] from a bare per-node label array — the entry
+/// point for sources that never materialise a [`TripleGraph`] (the
+/// streaming refinement path reads the label table of a sharded store
+/// directly).
+pub fn label_partition_from(labels: &[rdf_model::LabelId]) -> Partition {
+    let raw: Vec<u32> = labels.iter().map(|l| l.0).collect();
+    Partition::from_colors(&raw)
 }
 
 /// `λ_Bisim = BisimRefine*_{N_G}(ℓ_G)` — captures the maximal

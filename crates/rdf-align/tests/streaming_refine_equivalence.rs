@@ -1,0 +1,220 @@
+//! The streaming refinement path must be *invisible* in every output:
+//! shard-at-a-time rounds over a [`rdf_model::GraphShards`]
+//! decomposition or straight from on-disk `.rdfm` shard files produce
+//! the bit-identical partitions (same dense colors, same round counts)
+//! the in-RAM [`rdf_align::RefineEngine`] produces, for every shard
+//! count {1, 2, 4, 8} × thread count {1, 2, 4} — the acceptance matrix
+//! of the external-memory step. Corruption in any shard file surfaces
+//! as the same typed store errors the stitched load reports, at every
+//! thread count.
+
+use proptest::prelude::*;
+use rdf_align::pipeline::{align_streaming_with, align_with, Method};
+use rdf_align::{RefineEngine, StreamError, StreamingRefineEngine, Threads};
+use rdf_model::{RdfGraph, RdfGraphBuilder, ShardColumnsSource, Vocab};
+use rdf_store::{save_sharded, ShardedReader, StoreError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tmp() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "rdf-align-streaming-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A random pair of graph versions sharing a vocabulary (same shape as
+/// the parallel-refine identity suite).
+fn arb_versions() -> impl Strategy<Value = (Vocab, RdfGraph, RdfGraph)> {
+    (1usize..24, 1usize..24, any::<u64>()).prop_map(|(m1, m2, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut vocab = Vocab::new();
+        let build = |vocab: &mut Vocab,
+                     triples: usize,
+                     next: &mut dyn FnMut() -> u64| {
+            let mut b = RdfGraphBuilder::new(vocab);
+            for _ in 0..triples {
+                let s = format!("s{}", next() % 6);
+                let p = format!("p{}", next() % 4);
+                let o = format!("o{}", next() % 6);
+                match next() % 6 {
+                    0 => b.uuu(&s, &p, &o),
+                    1 => b.uul(&s, &p, &o),
+                    2 => b.uub(&s, &p, &o),
+                    3 => b.bul(&s, &p, &o),
+                    4 => b.buu(&s, &p, &o),
+                    _ => b.bub(&s, &p, &o),
+                }
+            }
+            b.finish()
+        };
+        let g1 = build(&mut vocab, m1, &mut next);
+        let g2 = build(&mut vocab, m2, &mut next);
+        (vocab, g1, g2)
+    })
+}
+
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const THREADS: [usize; 3] = [1, 2, 4];
+const METHODS: [Method; 3] =
+    [Method::Trivial, Method::Deblank, Method::Hybrid];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming alignment == in-RAM alignment, shard × thread ×
+    /// method: identical dense colors and §5 metrics.
+    #[test]
+    fn streaming_alignment_matches_in_ram(
+        (vocab, g1, g2) in arb_versions()
+    ) {
+        for method in METHODS {
+            let base =
+                align_with(&vocab, &g1, &g2, method, Threads::Fixed(1));
+            for shards in SHARDS {
+                for t in THREADS {
+                    let streamed = align_streaming_with(
+                        &vocab, &g1, &g2, method,
+                        Threads::Fixed(t), shards,
+                    ).expect("partition methods stream");
+                    prop_assert_eq!(
+                        streamed.partition().colors(),
+                        base.partition().colors()
+                    );
+                    prop_assert_eq!(
+                        streamed.edges.ratio(), base.edges.ratio());
+                    prop_assert_eq!(
+                        streamed.edges.aligned_instances(),
+                        base.edges.aligned_instances()
+                    );
+                    prop_assert_eq!(
+                        streamed.nodes.aligned_classes,
+                        base.nodes.aligned_classes
+                    );
+                    prop_assert_eq!(&streamed.unaligned, &base.unaligned);
+                }
+            }
+        }
+    }
+
+    /// Maximal bisimulation streamed straight from on-disk shard files
+    /// == the in-RAM engine over the stitched load, shard × thread;
+    /// and the engine's residency proxy is exactly the largest shard's
+    /// columns, never the whole graph's.
+    #[test]
+    fn store_streaming_bisimulation_matches_stitched_load(
+        (vocab, g1, _g2) in arb_versions()
+    ) {
+        let dir = tmp();
+        for shards in SHARDS {
+            let manifest = dir.join(format!("g{shards}.rdfm"));
+            save_sharded(&manifest, &vocab, &g1, shards).unwrap();
+            let reader = ShardedReader::open(&manifest).unwrap();
+
+            // In-RAM baseline over the stitched load.
+            let (_, loaded) = reader.read_graph(Threads::Fixed(1)).unwrap();
+            let base = RefineEngine::new(Threads::Fixed(1))
+                .bisimulation(loaded.graph());
+
+            let store = reader.open_streaming().unwrap();
+            prop_assert_eq!(
+                store.labels(), loaded.graph().labels_raw());
+            let max_shard_bytes = (0..store.shard_count())
+                .map(|k| store.load_shard(k).unwrap().resident_bytes())
+                .max()
+                .unwrap_or(0);
+            for t in THREADS {
+                let mut engine =
+                    StreamingRefineEngine::new(Threads::Fixed(t));
+                let out = engine
+                    .bisimulation(&store, store.labels())
+                    .unwrap();
+                prop_assert_eq!(
+                    out.partition.colors(),
+                    base.partition.colors()
+                );
+                prop_assert_eq!(out.rounds, base.rounds);
+                // Residency proxy: bounded by the largest single
+                // shard, not the graph.
+                prop_assert_eq!(
+                    engine.peak_shard_bytes(), max_shard_bytes);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Shard corruption surfaces as the same typed [`StoreError`]s the
+/// stitched load reports — and deterministically: the lowest-indexed
+/// failing shard wins at every thread count.
+#[test]
+fn corrupt_shards_fail_with_typed_errors_at_every_thread_count() {
+    let mut vocab = Vocab::new();
+    let g = {
+        let mut b = RdfGraphBuilder::new(&mut vocab);
+        for i in 0..24 {
+            b.uul(&format!("s{i}"), &format!("p{}", i % 3), "v");
+            b.uub(&format!("s{i}"), "link", &format!("b{}", i % 5));
+        }
+        b.finish()
+    };
+    let dir = tmp();
+    let manifest = dir.join("g.rdfm");
+    let paths = save_sharded(&manifest, &vocab, &g, 4).unwrap();
+    let store = ShardedReader::open(&manifest)
+        .unwrap()
+        .open_streaming()
+        .unwrap();
+
+    // Flip one byte in shards 1 and 3; shard 1's error must surface at
+    // every thread count (deterministic lowest-index error).
+    for shard in [&paths[2], &paths[4]] {
+        let mut bytes = std::fs::read(shard).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(shard, bytes).unwrap();
+    }
+    for t in [1usize, 2, 4] {
+        let err = StreamingRefineEngine::new(Threads::Fixed(t))
+            .bisimulation(&store, store.labels())
+            .unwrap_err();
+        match err {
+            StreamError::Source(StoreError::ShardChecksumMismatch {
+                ref shard,
+                ..
+            }) => {
+                assert!(
+                    shard.contains("shard-1"),
+                    "threads={t}: expected shard 1's error, got {shard:?}"
+                );
+            }
+            other => panic!("threads={t}: unexpected error {other:?}"),
+        }
+    }
+
+    // A missing shard is typed too.
+    std::fs::remove_file(&paths[2]).unwrap();
+    let err = StreamingRefineEngine::new(Threads::Fixed(2))
+        .bisimulation(&store, store.labels())
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StreamError::Source(StoreError::MissingShard { ref path })
+                if path.contains("shard-1")
+        ),
+        "unexpected error {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,5 @@
 //! Archive persistence through the `.rdfb` container (content kind
-//! [`KIND_ARCHIVE`](rdf_store::KIND_ARCHIVE)).
+//! [`KIND_ARCHIVE`]).
 //!
 //! The archive's state references a [`Vocab`] by label id, so the full
 //! dictionary travels with it — ids must stay stable across a round

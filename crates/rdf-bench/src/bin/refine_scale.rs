@@ -101,11 +101,11 @@ fn main() {
         );
     }
 
+    // `cores` rides along automatically on every BenchRecord.
     let mut record = BenchRecord::new("refine_scale", 0.0)
         .param("scale", scale)
         .param("reps", reps)
         .param("method", "hybrid")
-        .param("cores", cores)
         .counts(nodes, triples);
 
     let mut baseline_colors: Option<Vec<rdf_align::ColorId>> = None;

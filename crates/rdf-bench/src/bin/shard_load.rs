@@ -119,11 +119,11 @@ fn main() {
     let baseline = baseline.expect("at least one rep");
     println!("  single file: {single_ms:.3} ms/load ({single_bytes} bytes)");
 
+    // `cores` rides along automatically on every BenchRecord.
     let mut record = BenchRecord::new("shard_load", single_ms)
         .param("scale", scale)
         .param("reps", reps)
         .param("threads", "auto")
-        .param("cores", cores)
         .counts(nodes, triples)
         .metric("single_ms", single_ms)
         .metric("single_bytes", single_bytes as f64);

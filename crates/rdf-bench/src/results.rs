@@ -28,10 +28,20 @@ pub struct BenchRecord {
 
 impl BenchRecord {
     /// A record with the given name and measured wall time.
+    ///
+    /// Every record automatically carries a `cores` parameter — the
+    /// machine's [`std::thread::available_parallelism`] at measurement
+    /// time — so the benchmark-provenance caveat (see the README's
+    /// "Benchmark provenance" section) is machine-checkable: a reader
+    /// can reject speedup claims recorded on a single-core container
+    /// without trusting prose.
     pub fn new(name: impl Into<String>, wall_ms: f64) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
         BenchRecord {
             name: name.into(),
-            params: Vec::new(),
+            params: vec![("cores".into(), cores.to_string())],
             wall_ms,
             nodes: 0,
             triples: 0,
@@ -133,6 +143,8 @@ mod tests {
             .metric("speedup", 6.25);
         let j = r.to_json();
         assert!(j.contains("\"name\": \"store_load\""));
+        // The provenance parameter is always present, first.
+        assert!(j.contains("\"cores\": \""));
         assert!(j.contains("\"scale\": \"1\""));
         assert!(j.contains("\\\"quotes\\\"\\n"));
         assert!(j.contains("\"wall_ms\": 12.5"));

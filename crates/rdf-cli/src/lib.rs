@@ -12,9 +12,13 @@
 pub mod pipeline;
 
 use crate::pipeline::{ctx, open_any};
-use rdf_align::pipeline::{align_with as pipeline_align_with, Aligned, Method};
-use rdf_align::{RefineEngine, Threads};
-use rdf_model::Vocab;
+use rdf_align::pipeline::{
+    align_streaming_with as pipeline_align_streaming_with,
+    align_with as pipeline_align_with, Aligned, Method,
+    DEFAULT_STREAM_SHARDS,
+};
+use rdf_align::{RefineEngine, StreamingRefineEngine, Threads};
+use rdf_model::{ShardColumnsSource, Vocab};
 use rdf_store::AnyReader;
 use std::fmt;
 use std::path::Path;
@@ -118,18 +122,27 @@ pub fn export(input: &Path, output: &Path) -> Result<String, CliError> {
     ))
 }
 
-/// `rdf info [--bisim [--threads N]] <file>` — header, counts and
-/// per-section (or per-shard) sizes; all checksums — including every
-/// shard file of a manifest — are verified before this returns.
+/// `rdf info [--bisim [--streaming] [--threads N]] <file>` — header,
+/// counts and per-section (or per-shard) sizes; all checksums —
+/// including every shard file of a manifest — are verified before this
+/// returns.
 ///
 /// With `bisim = Some(threads)`, graph stores additionally get a
 /// maximal-bisimulation summary (quotient classes and rounds) computed
 /// through the parallel [`RefineEngine`] on the given thread
-/// configuration.
+/// configuration. With `streaming` also set, the summary is computed
+/// by the shard-at-a-time [`StreamingRefineEngine`] straight from the
+/// shard files — the stitched graph is never materialised, so this
+/// requires a `.rdfm` manifest. The summary is byte-identical either
+/// way.
 pub fn info(
     input: &Path,
     bisim: Option<Threads>,
+    streaming: bool,
 ) -> Result<String, CliError> {
+    if streaming && bisim.is_none() {
+        return Err(CliError::new("--streaming requires --bisim"));
+    }
     match open_any(input)? {
         AnyReader::Single(reader) => {
             let info = reader.info().map_err(|e| ctx(input, e))?;
@@ -164,6 +177,13 @@ pub fn info(
                 out.push_str(&format!("  section {tag}  {bytes} bytes\n"));
             }
             if let Some(threads) = bisim {
+                if streaming {
+                    return Err(ctx(
+                        input,
+                        "--streaming requires a sharded store \
+                         (.rdfm manifest)",
+                    ));
+                }
                 if info.header.kind == rdf_store::KIND_GRAPH {
                     // Decode from the reader's already-loaded bytes rather
                     // than re-reading the file from disk.
@@ -181,16 +201,19 @@ pub fn info(
         AnyReader::Sharded(reader) => {
             // With --bisim the graph is needed anyway, so gather the
             // info summary in the same pass instead of reading and
-            // CRC-checking every shard file twice.
-            let (info, graph) = match bisim {
-                Some(threads) => {
+            // CRC-checking every shard file twice. On the streaming
+            // path the graph is deliberately *not* materialised: the
+            // info() pass validates everything, then the streaming
+            // engine re-reads the shards round by round.
+            let (info, graph) = match (bisim, streaming) {
+                (Some(_), true) | (None, _) => {
+                    (reader.info().map_err(|e| ctx(input, e))?, None)
+                }
+                (Some(threads), false) => {
                     let (info, _, graph) = reader
                         .read_graph_with_info(threads)
                         .map_err(|e| ctx(input, e))?;
                     (info, Some(graph))
-                }
-                None => {
-                    (reader.info().map_err(|e| ctx(input, e))?, None)
                 }
             };
             let m = &info.manifest;
@@ -213,8 +236,28 @@ pub fn info(
                     entry.name, entry.triples, bytes,
                 ));
             }
-            if let (Some(threads), Some(graph)) = (bisim, &graph) {
-                out.push_str(&bisim_summary(graph, threads));
+            match (bisim, streaming, &graph) {
+                (Some(threads), true, _) => {
+                    // Shard-at-a-time: only the color vector plus one
+                    // shard's columns per worker are ever resident.
+                    let store = reader
+                        .open_streaming()
+                        .map_err(|e| ctx(input, e))?;
+                    let mut engine = StreamingRefineEngine::new(threads);
+                    let bisim = engine
+                        .bisimulation(&store, store.labels())
+                        .map_err(|e| ctx(input, e))?;
+                    out.push_str(&bisim_line(
+                        bisim.partition.num_colors(),
+                        store.node_count(),
+                        bisim.rounds,
+                        engine.threads(),
+                    ));
+                }
+                (Some(threads), false, Some(graph)) => {
+                    out.push_str(&bisim_summary(graph, threads));
+                }
+                _ => {}
             }
             Ok(out)
         }
@@ -225,12 +268,25 @@ pub fn info(
 fn bisim_summary(graph: &rdf_model::RdfGraph, threads: Threads) -> String {
     let mut engine = RefineEngine::new(threads);
     let bisim = engine.bisimulation(graph.graph());
-    format!(
-        "  bisimulation: {} classes / {} nodes in {} rounds ({} threads)\n",
+    bisim_line(
         bisim.partition.num_colors(),
         graph.node_count(),
         bisim.rounds,
         engine.threads(),
+    )
+}
+
+/// The one `info --bisim` summary format, shared by the in-RAM and
+/// streaming paths so their reports stay byte-identical.
+fn bisim_line(
+    classes: u32,
+    nodes: usize,
+    rounds: usize,
+    threads: usize,
+) -> String {
+    format!(
+        "  bisimulation: {classes} classes / {nodes} nodes in {rounds} \
+         rounds ({threads} threads)\n",
     )
 }
 
@@ -313,23 +369,43 @@ impl AlignOutcome {
     }
 }
 
-/// `rdf align [--method M] [--theta T] [--threads N] <source> <target>`
-/// — run the full pipeline over two inputs (single-file stores, sharded
-/// manifests or N-Triples, mixed freely). Refinement — and the sharded
-/// load, when a manifest is given — runs on the configured thread
-/// count; the reported metrics are bit-identical for every count.
+/// `rdf align [--method M] [--theta T] [--threads N] [--streaming]
+/// <source> <target>` — run the full pipeline over two inputs
+/// (single-file stores, sharded manifests or N-Triples, mixed freely).
+/// Refinement — and the sharded load, when a manifest is given — runs
+/// on the configured thread count; the reported metrics are
+/// bit-identical for every count.
+///
+/// With `streaming`, every refinement fixpoint runs through the
+/// shard-at-a-time [`StreamingRefineEngine`] over a range
+/// decomposition of the combined graph (methods `trivial`, `deblank`
+/// and `hybrid` only) — the report stays byte-identical to the in-RAM
+/// engine's.
 pub fn align(
     source: &Path,
     target: &Path,
     method_name: &str,
     theta: Option<f64>,
     threads: Threads,
+    streaming: bool,
 ) -> Result<AlignOutcome, CliError> {
     let method = parse_method(method_name, theta)?;
     let mut vocab = Vocab::new();
     let g1 = load_input_with(source, &mut vocab, threads)?;
     let g2 = load_input_with(target, &mut vocab, threads)?;
-    let aligned = pipeline_align_with(&vocab, &g1, &g2, method, threads);
+    let aligned = if streaming {
+        pipeline_align_streaming_with(
+            &vocab,
+            &g1,
+            &g2,
+            method,
+            threads,
+            DEFAULT_STREAM_SHARDS,
+        )
+        .map_err(|e| CliError::new(e.to_string()))?
+    } else {
+        pipeline_align_with(&vocab, &g1, &g2, method, threads)
+    };
     Ok(AlignOutcome {
         method: method_name.to_string(),
         source: (

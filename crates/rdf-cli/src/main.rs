@@ -3,9 +3,9 @@
 //! ```text
 //! rdf import [--shards N] <input.nt> <output>
 //! rdf export <input> <output.nt>
-//! rdf info   [--bisim] [--threads N] <file>
+//! rdf info   [--bisim [--streaming]] [--threads N] <file>
 //! rdf align  [--method trivial|deblank|hybrid|overlap] [--theta T]
-//!            [--threads N] <source> <target>
+//!            [--threads N] [--streaming] <source> <target>
 //! rdf gen    [--scale F] [--versions N] --out-dir DIR
 //! ```
 //!
@@ -14,7 +14,8 @@
 //! (format is resolved from the magic bytes and container kind).
 //! Refinement — and the sharded load — runs on the deterministic
 //! parallel engine: `--threads` only changes wall-clock time, never the
-//! output.
+//! output, and `--streaming` swaps in the shard-at-a-time engine
+//! without changing the output either.
 
 use rdf_align::Threads;
 use std::path::PathBuf;
@@ -31,15 +32,23 @@ commands:
                                     subject-hash-partitioned shards
   export <input> <output.nt>        write a store (single-file or
                                     sharded) as canonical N-Triples
-  info   [--bisim] [--threads N] <file>
+  info   [--bisim [--streaming]] [--threads N] <file>
                                     header, counts, sections/shards,
                                     checksums; --bisim adds a maximal-
-                                    bisimulation summary (graph stores)
-  align  [--method M] [--theta T] [--threads N] <source> <target>
+                                    bisimulation summary (graph stores);
+                                    --streaming computes it shard-at-a-
+                                    time from a .rdfm manifest, never
+                                    materialising the stitched graph
+  align  [--method M] [--theta T] [--threads N] [--streaming]
+         <source> <target>
                                     align two graphs (stores, manifests
                                     or N-Triples, mixed freely);
                                     M = trivial|deblank|hybrid|overlap
-                                    (default hybrid)
+                                    (default hybrid); --streaming runs
+                                    the refinement fixpoints shard-at-a-
+                                    time (byte-identical report; inputs
+                                    are still loaded to build the union;
+                                    not for overlap)
   gen    [--scale F] [--versions N] --out-dir DIR
                                     write seeded EFO-like N-Triples fixtures
 
@@ -49,7 +58,93 @@ threading:
                                     for every N; only wall time changes.
                                     auto uses the RDF_THREADS environment
                                     variable when set, else all cores.
+
+Run `rdf <command> --help` for per-command details.
+
+EXAMPLES
+  rdf gen --scale 0.25 --versions 2 --out-dir /tmp/efo
+  rdf import --shards 4 /tmp/efo/efo-v1.nt /tmp/efo/v1.rdfm
+  rdf import --shards 4 /tmp/efo/efo-v2.nt /tmp/efo/v2.rdfm
+  rdf info --bisim --streaming /tmp/efo/v1.rdfm
+  rdf align --method hybrid --streaming /tmp/efo/v1.rdfm /tmp/efo/v2.rdfm
 ";
+
+const HELP_IMPORT: &str = "\
+usage: rdf import [--shards N] <input.nt> <output>
+
+Parse N-Triples (streaming, one line resident at a time) into a
+dictionary-encoded store. Without --shards the output is a single
+.rdfb file; with --shards N it is a .rdfm manifest plus N
+subject-hash-partitioned .rdfb shard files written next to it.
+
+EXAMPLES
+  rdf import /tmp/efo/efo-v1.nt /tmp/efo/v1.rdfb
+  rdf import --shards 4 /tmp/efo/efo-v1.nt /tmp/efo/v1.rdfm
+";
+
+const HELP_EXPORT: &str = "\
+usage: rdf export <input> <output.nt>
+
+Write a store of either layout (single-file .rdfb or sharded .rdfm)
+back out as canonical, line-sorted N-Triples.
+
+EXAMPLES
+  rdf export /tmp/efo/v1.rdfb /tmp/efo/v1-canonical.nt
+  rdf export /tmp/efo/v1.rdfm /tmp/efo/v1-canonical.nt
+";
+
+const HELP_INFO: &str = "\
+usage: rdf info [--bisim [--streaming]] [--threads N] <file>
+
+Report the container header, counts and per-section (or per-shard)
+sizes; every checksum — including each shard file of a manifest — is
+verified first. --bisim adds a maximal-bisimulation summary (classes,
+rounds) for graph stores, computed on the deterministic parallel
+engine. --bisim --streaming computes the same summary shard-at-a-time
+from a .rdfm manifest: only the color vector plus one shard's columns
+per worker stay resident, and the line is byte-identical.
+
+EXAMPLES
+  rdf info /tmp/efo/v1.rdfb
+  rdf info --bisim --threads 4 /tmp/efo/v1.rdfb
+  rdf info --bisim --streaming /tmp/efo/v1.rdfm
+";
+
+const HELP_ALIGN: &str = "\
+usage: rdf align [--method M] [--theta T] [--threads N] [--streaming]
+                 <source> <target>
+
+Align two graph versions and print the report of §5 metrics. Inputs
+may be .rdfb stores, .rdfm sharded manifests or N-Triples text, mixed
+freely. M = trivial|deblank|hybrid|overlap (default hybrid); --theta
+sets the overlap threshold. --streaming runs every refinement fixpoint
+shard-at-a-time (trivial|deblank|hybrid only) — the report is
+byte-identical to the in-RAM engine's at every thread count. Note that
+align still loads both inputs and builds their union in memory; only
+the refinement working set is shard-bounded (the fully external path
+is `rdf info --bisim --streaming`).
+
+EXAMPLES
+  rdf align --method hybrid /tmp/efo/v1.rdfb /tmp/efo/v2.rdfb
+  rdf align --method overlap --theta 0.5 /tmp/efo/v1.rdfb /tmp/efo/v2.rdfb
+  rdf align --streaming /tmp/efo/v1.rdfm /tmp/efo/v2.rdfm
+";
+
+const HELP_GEN: &str = "\
+usage: rdf gen [--scale F] [--versions N] --out-dir DIR
+
+Write the first N versions of the seeded EFO-like dataset as
+N-Triples files (efo-v1.nt, efo-v2.nt, ...) — the fixture generator
+for smoke tests and benchmarks.
+
+EXAMPLES
+  rdf gen --scale 0.25 --versions 2 --out-dir /tmp/efo
+";
+
+/// Whether the argument list asks for help.
+fn wants_help(rest: &[String]) -> bool {
+    rest.iter().any(|a| a == "--help" || a == "-h")
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +164,9 @@ fn run(args: &[String]) -> Result<String, String> {
     let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
     match cmd.as_str() {
         "import" => {
+            if wants_help(rest) {
+                return Ok(HELP_IMPORT.to_string());
+            }
             let mut shards: Option<usize> = None;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
@@ -97,17 +195,25 @@ fn run(args: &[String]) -> Result<String, String> {
                 .map_err(|e| e.to_string())
         }
         "export" => {
+            if wants_help(rest) {
+                return Ok(HELP_EXPORT.to_string());
+            }
             let [input, output] = two_paths(rest, "export")?;
             rdf_cli::export(&input, &output).map_err(|e| e.to_string())
         }
         "info" => {
+            if wants_help(rest) {
+                return Ok(HELP_INFO.to_string());
+            }
             let mut bisim = false;
+            let mut streaming = false;
             let mut threads = Threads::Auto;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--bisim" => bisim = true,
+                    "--streaming" => streaming = true,
                     "--threads" => {
                         threads = Threads::parse(
                             it.next().ok_or("--threads needs a value")?,
@@ -119,17 +225,22 @@ fn run(args: &[String]) -> Result<String, String> {
             let [input]: [PathBuf; 1] = inputs
                 .try_into()
                 .map_err(|_| "info takes exactly one file")?;
-            rdf_cli::info(&input, bisim.then_some(threads))
+            rdf_cli::info(&input, bisim.then_some(threads), streaming)
                 .map_err(|e| e.to_string())
         }
         "align" => {
+            if wants_help(rest) {
+                return Ok(HELP_ALIGN.to_string());
+            }
             let mut method = "hybrid".to_string();
             let mut theta: Option<f64> = None;
             let mut threads = Threads::Auto;
+            let mut streaming = false;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
+                    "--streaming" => streaming = true,
                     "--method" => {
                         method = it
                             .next()
@@ -155,12 +266,16 @@ fn run(args: &[String]) -> Result<String, String> {
             let [source, target]: [PathBuf; 2] = inputs
                 .try_into()
                 .map_err(|_| "align takes exactly two inputs")?;
-            let outcome =
-                rdf_cli::align(&source, &target, &method, theta, threads)
-                    .map_err(|e| e.to_string())?;
+            let outcome = rdf_cli::align(
+                &source, &target, &method, theta, threads, streaming,
+            )
+            .map_err(|e| e.to_string())?;
             Ok(outcome.render())
         }
         "gen" => {
+            if wants_help(rest) {
+                return Ok(HELP_GEN.to_string());
+            }
             let mut scale = 0.25f64;
             let mut versions = 2usize;
             let mut out_dir: Option<PathBuf> = None;

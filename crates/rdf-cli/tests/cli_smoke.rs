@@ -161,6 +161,7 @@ fn full_pipeline_matches_in_process_alignment() {
         "hybrid",
         None,
         rdf_align::Threads::Auto,
+        false,
     )
     .unwrap();
     assert_eq!(cli_report, outcome.render());
@@ -316,6 +317,7 @@ fn sharded_flow_matches_single_file_flow() {
         "hybrid",
         None,
         rdf_align::Threads::Auto,
+        false,
     )
     .unwrap();
     let cli_report =
@@ -334,6 +336,43 @@ fn sharded_flow_matches_single_file_flow() {
             .expect("report has a bisimulation line")
     };
     assert_eq!(bisim_line(&bisim_sharded), bisim_line(&bisim_single));
+
+    // --streaming: the shard-at-a-time engine must leave every report
+    // byte-identical — align at 1 and 4 threads, and the whole
+    // info --bisim output (the streaming path never stitches the
+    // graph, yet prints the very same summary).
+    for t in ["1", "4"] {
+        let streamed = run_ok(&[
+            "align", "--method", "hybrid", "--streaming", "--threads", t,
+            s(&v1_man), s(&v2_man),
+        ]);
+        assert_eq!(
+            metrics(&single_report),
+            metrics(&streamed),
+            "streaming align metrics diverged at {t} threads"
+        );
+    }
+    let bisim_streamed = run_ok(&[
+        "info", "--bisim", "--streaming", "--threads", "2", s(&v1_man),
+    ]);
+    assert_eq!(
+        bisim_streamed, bisim_sharded,
+        "streaming info --bisim diverged from the in-RAM report"
+    );
+    // Streaming misuse is rejected with clear messages.
+    let err = run_err(&["info", "--streaming", s(&v1_man)]);
+    assert!(err.contains("--streaming requires --bisim"), "got: {err}");
+    let err =
+        run_err(&["info", "--bisim", "--streaming", s(&v1_store)]);
+    assert!(err.contains("sharded store"), "got: {err}");
+    let err = run_err(&[
+        "align", "--method", "overlap", "--streaming",
+        s(&v1_man), s(&v2_man),
+    ]);
+    assert!(
+        err.contains("overlap") && err.contains("streaming"),
+        "got: {err}"
+    );
 
     // Corrupting one shard fails loudly with the shard named.
     let shard = dir.path("v1-shard-2.rdfb");
@@ -387,6 +426,61 @@ fn align_supports_all_methods() {
         s(&v2),
     ]);
     assert!(report.contains("aligned edge ratio"));
+}
+
+/// The EXAMPLES blocks in `--help` cannot rot: the top-level examples
+/// are extracted from the real help text and *executed* in order
+/// (paths redirected into a temp dir), and every subcommand's help
+/// must carry its own EXAMPLES block addressing that subcommand.
+#[test]
+fn help_examples_execute_and_cover_every_subcommand() {
+    let dir = TempDir::new("help");
+    let help = run_ok(&["--help"]);
+    assert!(help.contains("EXAMPLES"), "top-level help has EXAMPLES");
+
+    // Every example line is a real `rdf` invocation; run them in order
+    // with /tmp/efo swapped for this test's temp dir.
+    let examples: Vec<Vec<String>> = help
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("rdf "))
+        .map(|l| {
+            l.replace("/tmp/efo", s(&dir.0))
+                .split_whitespace()
+                .skip(1) // the leading "rdf"
+                .map(str::to_owned)
+                .collect()
+        })
+        .collect();
+    assert!(
+        examples.len() >= 4,
+        "expected a multi-step example pipeline, got {examples:?}"
+    );
+    for args in &examples {
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = run_ok(&argv);
+        assert!(!out.is_empty(), "example `rdf {args:?}` printed nothing");
+    }
+    // The advertised pipeline really exercised the streaming path.
+    assert!(
+        examples.iter().any(|a| a.contains(&"--streaming".to_string())),
+        "top-level examples should show --streaming: {examples:?}"
+    );
+
+    // Per-subcommand help: an EXAMPLES block that addresses the
+    // subcommand itself.
+    for cmd in ["import", "export", "info", "align", "gen"] {
+        let h = run_ok(&[cmd, "--help"]);
+        assert!(h.contains("EXAMPLES"), "{cmd} --help has EXAMPLES");
+        assert!(
+            h.contains(&format!("rdf {cmd}")),
+            "{cmd} --help examples address rdf {cmd}: {h}"
+        );
+        assert!(
+            h.contains(&format!("usage: rdf {cmd}")),
+            "{cmd} --help leads with usage: {h}"
+        );
+    }
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! The Hungarian algorithm (Kuhn–Munkres) for minimum-cost assignment.
 //!
 //! §4.2 uses an optimal matching among the outgoing edges of two nodes to
-//! propagate `σ_Edit`; the paper cites Kuhn's method [9]. We implement the
+//! propagate `σ_Edit`; the paper cites Kuhn's method \[9\]. We implement the
 //! O(n³) shortest-augmenting-path formulation with dual potentials
 //! (Jonker–Volgenant style) on rectangular matrices: rows are assigned to
 //! a subset of columns minimising total cost.

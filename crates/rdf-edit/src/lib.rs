@@ -1,8 +1,8 @@
 //! Edit-distance substrates for RDF alignment (§4 of Buneman & Staworko,
 //! PVLDB 2016).
 //!
-//! * [`levenshtein`] — string edit distance, full / banded / normalised;
-//! * [`hungarian`] — minimum-cost assignment (Kuhn–Munkres, O(n³));
+//! * [`levenshtein`](mod@levenshtein) — string edit distance, full / banded / normalised;
+//! * [`hungarian`](mod@hungarian) — minimum-cost assignment (Kuhn–Munkres, O(n³));
 //! * [`algebra`] — the saturating `⊕` operator on `[0, 1]` distances;
 //! * [`sigma_edit`] — the quadratic `σ_Edit` node metric the overlap
 //!   alignment approximates;

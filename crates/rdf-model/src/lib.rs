@@ -36,6 +36,7 @@ pub mod graph;
 pub mod hash;
 pub mod label;
 pub mod rdf;
+pub mod shard;
 pub mod stats;
 pub mod truth;
 pub mod union;
@@ -43,6 +44,7 @@ pub mod union;
 pub use graph::{
     GraphBuilder, NodeId, OutColumns, RawPartsError, Triple, TripleGraph,
 };
+pub use shard::{GraphShards, ShardColumns, ShardColumnsSource};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use label::{LabelId, LabelKind, LabelRef, Vocab};
 pub use rdf::{rebase_into, RdfError, RdfGraph, RdfGraphBuilder, Term};

@@ -153,8 +153,9 @@ where
 /// Every task runs to completion even when an earlier one fails (the
 /// scope joins all threads regardless), so which error surfaces is
 /// deterministic: it depends only on task order, never on thread
-/// scheduling. The sharded-store loader leans on this to report the
-/// same corrupt shard at every thread count.
+/// scheduling. The sharded-store loader and the streaming refinement
+/// engine's signature phase both lean on this to report the same
+/// corrupt shard at every thread count.
 pub fn scoped_try_map<T, R, E, F>(tasks: Vec<T>, f: F) -> Result<Vec<R>, E>
 where
     T: Send,

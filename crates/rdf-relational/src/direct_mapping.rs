@@ -1,4 +1,4 @@
-//! W3C Direct Mapping of relational data to RDF [18], as used for the
+//! W3C Direct Mapping of relational data to RDF \[18\], as used for the
 //! GtoPdb experiment (§5.2).
 //!
 //! Following the paper's description:

@@ -1,20 +1,13 @@
 //! The generic `.rdfb` container: header + checksummed sections.
 //!
-//! Layout (all integers little-endian):
+//! A container is a 32-byte fixed header (magic `RDFB`, version,
+//! content kind, section count, three kind-dependent u64 counts)
+//! followed by sections framed as
+//! `tag[4] · payload_len(u64) · crc32(u32) · payload`. The normative
+//! byte-level specification — including the per-kind count meanings
+//! and every validation rule — lives in `docs/FORMAT.md` (§1–§2) at
+//! the repository root.
 //!
-//! ```text
-//! offset  size  field
-//! 0       4     magic "RDFB"
-//! 4       2     format version (u16), currently 1
-//! 6       1     content kind (1 = graph store, 2 = archive)
-//! 7       1     section count
-//! 8       8     count[0]  (graph: dictionary labels; archive: versions)
-//! 16      8     count[1]  (graph: nodes;             archive: entities)
-//! 24      8     count[2]  (graph: triples;           archive: distinct triples)
-//! 32      ...   sections
-//! ```
-//!
-//! Each section is `tag[4] · payload_len(u64) · crc32(u32) · payload`.
 //! Readers verify every checksum before any payload is interpreted, so a
 //! flipped bit or a truncated download fails with a typed error instead
 //! of materialising a wrong graph.

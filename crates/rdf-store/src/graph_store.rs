@@ -1,14 +1,10 @@
 //! Saving and loading a dictionary-encoded [`TripleGraph`] (`.rdfb`,
 //! content kind [`KIND_GRAPH`]).
 //!
-//! A graph container holds four sections:
-//!
-//! | tag    | content |
-//! |--------|---------|
-//! | `DICT` | label dictionary: kind tag + length-prefixed UTF-8 text per label (entry 0, the blank label, is implicit) |
-//! | `NODE` | per-node dictionary ids (varint) |
-//! | `TRPL` | sorted `(s, p, o)` triples, varint-delta encoded |
-//! | `BNAM` | document-local blank-node names (delta node id + text) |
+//! A graph container holds four sections — `DICT` (label dictionary),
+//! `NODE` (per-node dictionary ids), `TRPL` (sorted varint-delta
+//! triples) and `BNAM` (document-local blank-node names); their exact
+//! byte layouts are specified in `docs/FORMAT.md` §3.
 //!
 //! Labels are remapped to *dense* ids in ascending first-use order before
 //! writing, so a store written from a freshly parsed graph has exactly
@@ -296,6 +292,27 @@ impl<W: Write> StoreWriter<W> {
 }
 
 /// Reads graph containers from an in-memory image of the file.
+///
+/// ```
+/// use rdf_model::{RdfGraphBuilder, Vocab};
+/// use rdf_store::{graph_to_bytes, StoreReader};
+///
+/// let mut vocab = Vocab::new();
+/// let g = {
+///     let mut b = RdfGraphBuilder::new(&mut vocab);
+///     b.uub("ss", "address", "b1");
+///     b.bul("b1", "zip", "EH8");
+///     b.finish()
+/// };
+/// let bytes = graph_to_bytes(&vocab, &g).unwrap();
+///
+/// let reader = StoreReader::from_bytes(bytes);
+/// let info = reader.info().unwrap();          // header + checksums
+/// assert_eq!(info.header.counts[1], g.node_count() as u64);
+/// let (vocab2, g2) = reader.read_graph().unwrap();
+/// assert_eq!(g2.graph().triples(), g.graph().triples());
+/// assert!(vocab2.find_uri("address").is_some());
+/// ```
 #[derive(Debug)]
 pub struct StoreReader {
     bytes: Vec<u8>,

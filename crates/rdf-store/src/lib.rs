@@ -22,6 +22,12 @@
 //! * [`container`] — the generic section framing, reused by
 //!   `rdf-archive` for persistent archives.
 //!
+//! The byte-level layout of every container kind — header, section
+//! framing, `DICT`/`NODE`/`TRPL`/`BNAM`/`SHRD` bodies, varint and CRC
+//! rules, and the `shard_of` subject hash — is specified normatively
+//! in **`docs/FORMAT.md`** at the repository root; module comments
+//! here only summarise it.
+//!
 //! ```
 //! use rdf_model::{RdfGraphBuilder, Vocab};
 //! use rdf_store::{graph_to_bytes, StoreReader};
@@ -39,7 +45,7 @@
 //! assert_eq!(vocab2.find_uri("address").is_some(), true);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checksum;
 pub mod container;
@@ -62,6 +68,6 @@ pub use graph_store::{
 pub use import::{import_ntriples, ImportError};
 pub use sharded::{
     open_any, save_sharded, shard_of, AnyReader, Manifest, ShardEntry,
-    ShardedInfo, ShardedReader, ShardedWriter, DEFAULT_SHARD_SEED,
-    TAG_SHRD,
+    ShardedInfo, ShardedReader, ShardedWriter, StreamingStore,
+    DEFAULT_SHARD_SEED, TAG_SHRD,
 };

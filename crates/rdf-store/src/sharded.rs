@@ -23,6 +23,8 @@
 //! The manifest records each shard's file name, triple count and a CRC
 //! over the *whole shard file*, so a missing, swapped or damaged shard
 //! fails with a typed [`StoreError`] before any triple is believed.
+//! The byte-level layout of manifests, shard files and the `shard_of`
+//! hash is specified normatively in `docs/FORMAT.md` §5.
 
 use crate::checksum::crc32;
 use crate::container::{
@@ -35,7 +37,10 @@ use crate::graph_store::{
     TAG_NODE, TAG_TRPL,
 };
 use crate::varint::{read_varint, read_varint_u32, write_varint};
-use rdf_model::{NodeId, RdfGraph, Triple, TripleGraph, Vocab};
+use rdf_model::{
+    LabelId, LabelKind, NodeId, RdfGraph, ShardColumns,
+    ShardColumnsSource, Triple, TripleGraph, Vocab,
+};
 use rdf_par::{chunk_ranges, scoped_try_map, Threads};
 use std::path::{Path, PathBuf};
 
@@ -227,6 +232,33 @@ impl ShardedInfo {
 
 /// Reads a sharded store: the manifest image plus the directory shard
 /// paths resolve against.
+///
+/// ```
+/// use rdf_model::{RdfGraphBuilder, Vocab};
+/// use rdf_par::Threads;
+/// use rdf_store::{save_sharded, ShardedReader};
+///
+/// let dir = std::env::temp_dir().join(format!(
+///     "rdfb-doc-sharded-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let mut vocab = Vocab::new();
+/// let g = {
+///     let mut b = RdfGraphBuilder::new(&mut vocab);
+///     b.uub("ss", "address", "b1");
+///     b.bul("b1", "zip", "EH8");
+///     b.finish()
+/// };
+/// let manifest = dir.join("g.rdfm");
+/// save_sharded(&manifest, &vocab, &g, 3).unwrap();
+///
+/// let reader = ShardedReader::open(&manifest).unwrap();
+/// assert_eq!(reader.manifest().unwrap().shards.len(), 3);
+/// // The stitched load is bit-identical to a single-file load, at
+/// // every thread count.
+/// let (_, g2) = reader.read_graph(Threads::Fixed(2)).unwrap();
+/// assert_eq!(g2.graph().triples(), g.graph().triples());
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
 #[derive(Debug)]
 pub struct ShardedReader {
     dir: PathBuf,
@@ -364,16 +396,141 @@ impl ShardedReader {
         &self,
         entry: &ShardEntry,
     ) -> Result<Vec<u8>, StoreError> {
-        let path = self.dir.join(&entry.name);
-        match std::fs::read(&path) {
-            Ok(bytes) => Ok(bytes),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StoreError::MissingShard {
-                    path: path.display().to_string(),
-                })
-            }
-            Err(e) => Err(e.into()),
+        read_shard_file(&self.dir, entry)
+    }
+
+    /// Open the store for **streaming refinement**: decode only the
+    /// global sections (dictionary and node table) and keep the shard
+    /// directory, so [`StreamingStore::load_shard`] can serve one
+    /// shard's columns at a time. The triples are *never* stitched
+    /// into a resident [`TripleGraph`] — this is the external-memory
+    /// entry point of the Luo et al. / Hellings et al. construction.
+    pub fn open_streaming(&self) -> Result<StreamingStore, StoreError> {
+        let c = Container::parse(&self.bytes)?;
+        let manifest = parse_manifest(&c)?;
+        let vocab = decode_dict_checked(c.section(TAG_DICT)?, None)?;
+        let (labels, kinds) = decode_node(
+            c.section(TAG_NODE)?,
+            &vocab,
+            Some(manifest.nodes),
+        )?;
+        Ok(StreamingStore {
+            dir: self.dir.clone(),
+            manifest,
+            vocab,
+            labels,
+            kinds,
+        })
+    }
+}
+
+/// Read one shard file, mapping absence to the typed
+/// [`StoreError::MissingShard`].
+fn read_shard_file(
+    dir: &Path,
+    entry: &ShardEntry,
+) -> Result<Vec<u8>, StoreError> {
+    let path = dir.join(&entry.name);
+    match std::fs::read(&path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Err(StoreError::MissingShard {
+                path: path.display().to_string(),
+            })
         }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// A sharded store opened for shard-at-a-time streaming: the global
+/// sections (dictionary, per-node labels and kinds) are resident, the
+/// triples stay on disk and are served one shard at a time through the
+/// [`ShardColumnsSource`] implementation.
+///
+/// Every [`StreamingStore::load_shard`] call re-reads and re-validates
+/// its shard file (manifest CRC over the whole file, container section
+/// checksums, shard index and triple count) — corruption surfaces as
+/// the same typed [`StoreError`]s the stitched load reports, on every
+/// refinement round that touches the shard.
+///
+/// Built by [`ShardedReader::open_streaming`]:
+///
+/// ```
+/// use rdf_model::{RdfGraphBuilder, ShardColumnsSource, Vocab};
+/// use rdf_store::{save_sharded, ShardedReader};
+///
+/// let dir = std::env::temp_dir().join(format!(
+///     "rdfb-doc-streaming-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let mut vocab = Vocab::new();
+/// let g = {
+///     let mut b = RdfGraphBuilder::new(&mut vocab);
+///     b.uub("ss", "address", "b1");
+///     b.bul("b1", "zip", "EH8");
+///     b.finish()
+/// };
+/// let manifest = dir.join("g.rdfm");
+/// save_sharded(&manifest, &vocab, &g, 2).unwrap();
+///
+/// let store = ShardedReader::open(&manifest)
+///     .unwrap()
+///     .open_streaming()
+///     .unwrap();
+/// assert_eq!(store.node_count(), g.node_count());
+/// let edges: usize = (0..store.shard_count())
+///     .map(|k| store.load_shard(k).unwrap().len())
+///     .sum();
+/// assert_eq!(edges, g.triple_count());
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct StreamingStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    vocab: Vocab,
+    labels: Vec<LabelId>,
+    kinds: Vec<LabelKind>,
+}
+
+impl StreamingStore {
+    /// The parsed shard directory.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The store's dictionary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Per-node label ids (index = node id), decoded from the global
+    /// `NODE` section — the input to the initial labelling partition.
+    pub fn labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// Per-node label kinds (index = node id).
+    pub fn kinds(&self) -> &[LabelKind] {
+        &self.kinds
+    }
+}
+
+impl ShardColumnsSource for StreamingStore {
+    type Error = StoreError;
+
+    fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.manifest.shards.len()
+    }
+
+    fn load_shard(&self, k: usize) -> Result<ShardColumns, StoreError> {
+        let entry = &self.manifest.shards[k];
+        let bytes = read_shard_file(&self.dir, entry)?;
+        let run = parse_shard(&bytes, k, entry)?;
+        Ok(ShardColumns::from_sorted_triples(&run))
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: an exact `usize` or a range.
+/// A length specification for [`vec`](fn@vec): an exact `usize` or a range.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,

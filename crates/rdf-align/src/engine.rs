@@ -41,8 +41,10 @@ use crate::partition::{ColorId, Partition};
 use crate::refine::RefineOutcome;
 use rdf_model::hash::mix64;
 use rdf_model::{FxHashMap, NodeId, OutColumns, TripleGraph};
-use rdf_par::{chunk_ranges, Threads};
-use std::sync::{Barrier, RwLock};
+use rdf_obs::{Recorder, SpanGuard};
+use rdf_par::{chunk_ranges, Threads, TimedBarrier};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Multiplier for the primary signature stream.
 pub(crate) const K1: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -143,6 +145,9 @@ struct GangState {
 #[derive(Debug)]
 pub struct RefineEngine {
     threads: usize,
+    /// Instrumentation sink; [`Recorder::disabled`] by default, in
+    /// which case every emission site reduces to one branch.
+    recorder: Arc<Recorder>,
     /// Sequential-path interning map, reused round to round and run to
     /// run.
     seq_map: FxHashMap<RoundKey, u32>,
@@ -155,6 +160,7 @@ impl RefineEngine {
     pub fn new(threads: Threads) -> Self {
         RefineEngine {
             threads: threads.resolve(),
+            recorder: Arc::new(Recorder::disabled()),
             seq_map: FxHashMap::default(),
             seq_buf: Vec::new(),
         }
@@ -163,6 +169,20 @@ impl RefineEngine {
     /// An engine on the default (auto) thread configuration.
     pub fn auto() -> Self {
         RefineEngine::new(Threads::Auto)
+    }
+
+    /// An engine with an instrumentation recorder attached. Tracing
+    /// never changes results: the emitted partition is bit-identical
+    /// with any recorder (the inertness suite proves it).
+    pub fn with_recorder(threads: Threads, recorder: Arc<Recorder>) -> Self {
+        let mut engine = RefineEngine::new(threads);
+        engine.recorder = recorder;
+        engine
+    }
+
+    /// Attach (or replace) the instrumentation recorder.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
     }
 
     /// The resolved worker count.
@@ -195,11 +215,22 @@ impl RefineEngine {
         if n == 0 || max_rounds == Some(0) {
             return (initial, 0, false);
         }
+        let rec = Arc::clone(&self.recorder);
+        let mut fix = rec.span("refine.fixpoint");
         let ranges = chunk_ranges(n, self.threads);
-        if ranges.len() == 1 {
-            return self.run_sequential(n, initial, sig, max_rounds);
+        let workers = ranges.len();
+        let (partition, rounds, changed) = if workers == 1 {
+            self.run_sequential(n, initial, sig, max_rounds, &rec)
+        } else {
+            run_gang(n, initial, &sig, max_rounds, &ranges, &rec)
+        };
+        if fix.enabled() {
+            fix.field("rounds", rounds);
+            fix.field("classes", partition.num_colors());
+            fix.field("nodes", n);
+            fix.field("threads", workers);
         }
-        run_gang(n, initial, &sig, max_rounds, &ranges)
+        (partition, rounds, changed)
     }
 
     /// The single-worker path: one interning map, dense ids straight
@@ -211,10 +242,14 @@ impl RefineEngine {
         initial: Partition,
         sig: S,
         max_rounds: Option<usize>,
+        rec: &Recorder,
     ) -> (Partition, usize, bool)
     where
         S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey,
     {
+        if rec.enabled() {
+            return self.run_sequential_traced(n, initial, sig, max_rounds, rec);
+        }
         let mut partition = initial;
         let mut rounds = 0;
         loop {
@@ -231,6 +266,62 @@ impl RefineEngine {
             let changed = new_num != partition.num_colors();
             partition = Partition::from_dense(colors, new_num);
             rounds += 1;
+            if !changed || Some(rounds) == max_rounds {
+                return (partition, rounds, changed);
+            }
+        }
+    }
+
+    /// The traced twin of the sequential loop. The fused
+    /// signature+intern loop above cannot time its two halves, so this
+    /// path materialises the round's key sequence first and interns it
+    /// second. Interning consumes the identical key sequence in the
+    /// identical order, so the dense numbering — and therefore the
+    /// output partition — is bit-identical to the fused loop; only the
+    /// phase boundary becomes observable.
+    fn run_sequential_traced<S>(
+        &mut self,
+        n: usize,
+        initial: Partition,
+        sig: S,
+        max_rounds: Option<usize>,
+        rec: &Recorder,
+    ) -> (Partition, usize, bool)
+    where
+        S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey,
+    {
+        let mut partition = initial;
+        let mut rounds = 0;
+        let mut keys: Vec<RoundKey> = Vec::with_capacity(n);
+        loop {
+            let mut sp = rec.span("refine.round");
+            let prev_num = partition.num_colors();
+            let sig_start = Instant::now();
+            keys.clear();
+            for i in 0..n {
+                keys.push(sig(i, &partition, &mut self.seq_buf));
+            }
+            let sig_us = sig_start.elapsed().as_micros() as u64;
+            let canon_start = Instant::now();
+            let map = &mut self.seq_map;
+            map.clear();
+            map.reserve(prev_num as usize + 16);
+            let mut colors = Vec::with_capacity(n);
+            for &key in &keys {
+                let next = map.len() as u32;
+                colors.push(ColorId(*map.entry(key).or_insert(next)));
+            }
+            let new_num = map.len() as u32;
+            let canon_us = canon_start.elapsed().as_micros() as u64;
+            let changed = new_num != partition.num_colors();
+            partition = Partition::from_dense(colors, new_num);
+            rounds += 1;
+            sp.field("round", rounds);
+            sp.field("classes", new_num);
+            sp.field("splits", new_num.saturating_sub(prev_num));
+            sp.field("sig_us", sig_us);
+            sp.field("canon_us", canon_us);
+            drop(sp);
             if !changed || Some(rounds) == max_rounds {
                 return (partition, rounds, changed);
             }
@@ -398,13 +489,14 @@ fn run_gang<S>(
     sig: &S,
     max_rounds: Option<usize>,
     ranges: &[std::ops::Range<usize>],
+    rec: &Recorder,
 ) -> (Partition, usize, bool)
 where
     S: Fn(usize, &Partition, &mut Vec<(u32, u32)>) -> RoundKey + Sync,
 {
     let workers = ranges.len();
     let shards = workers;
-    let barrier = Barrier::new(workers);
+    let barrier = TimedBarrier::new(workers);
     // bins[w][s]: worker w's (node, key) pairs owned by shard s.
     let bins: Vec<RwLock<ShardBins>> = (0..workers)
         .map(|_| RwLock::new(vec![Vec::new(); shards]))
@@ -426,12 +518,25 @@ where
         let mut merge: Vec<(u32, u32)> = Vec::new();
         let mut ranks: Vec<Vec<u32>> = vec![Vec::new(); shards];
         loop {
+            // Leader-only per-round span; it must not be created when
+            // the done flag is already set (no round happens then), so
+            // it is hoisted out of the phase-A block and filled in
+            // during phase C.
+            let mut sp: Option<SpanGuard<'_>> = None;
+            let mut round_start: Option<Instant> = None;
             // Phase A: signatures for this worker's node chunk, binned
             // by owning shard.
             {
                 let st = state.read().expect("gang state readable");
                 if st.done {
                     return;
+                }
+                if w == 0 {
+                    let guard = rec.span("refine.round");
+                    if guard.enabled() {
+                        round_start = Some(Instant::now());
+                    }
+                    sp = Some(guard);
                 }
                 let mut my_bins =
                     bins[w].write().expect("own bins writable");
@@ -443,7 +548,13 @@ where
                     my_bins[shard_of(&key, shards)].push((i as u32, key));
                 }
             }
-            barrier.wait();
+            barrier.wait_timed(rec, w);
+            // On the leader, wall-clock time from round start to here
+            // is the gang-wide signature phase (the barrier aligns all
+            // workers); the remainder of the round is canonicalisation.
+            let sig_done = round_start.map(|start| {
+                (start.elapsed().as_micros() as u64, Instant::now())
+            });
 
             // Phase B: intern shard `w`. Walking the workers' bins in
             // worker order visits nodes in ascending order (chunks are
@@ -467,7 +578,7 @@ where
                     }
                 }
             }
-            barrier.wait();
+            barrier.wait_timed(rec, w);
 
             // Phase C: the leader renumbers densely by first occurrence
             // and scatters the colors.
@@ -513,15 +624,31 @@ where
                     }
                 }
 
-                let changed = new_num != st.partition.num_colors();
+                let prev_num = st.partition.num_colors();
+                let changed = new_num != prev_num;
                 st.partition = Partition::from_dense(colors, new_num);
                 st.rounds += 1;
                 st.last_changed = changed;
                 if !changed || Some(st.rounds) == max_rounds {
                     st.done = true;
                 }
+                if let Some(sp) = sp.as_mut() {
+                    sp.field("round", st.rounds);
+                    sp.field("classes", new_num);
+                    sp.field("splits", new_num.saturating_sub(prev_num));
+                    if let Some((sig_us, canon_start)) = sig_done {
+                        sp.field("sig_us", sig_us);
+                        sp.field(
+                            "canon_us",
+                            canon_start.elapsed().as_micros() as u64,
+                        );
+                    }
+                }
             }
-            barrier.wait();
+            // The leader's span drops (and emits) here, covering the
+            // full round; it deliberately excludes the final barrier.
+            drop(sp);
+            barrier.wait_timed(rec, w);
         }
     };
 

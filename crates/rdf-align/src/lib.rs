@@ -64,8 +64,9 @@ pub use delta::{delta, Delta};
 pub use engine::RefineEngine;
 pub use enrich::WeightedBipartite;
 pub use pipeline::{
-    align, align_streaming_with, align_with, Aligned, Method,
-    StreamingUnsupported, DEFAULT_STREAM_SHARDS,
+    align, align_streaming_with, align_streaming_with_recorder, align_with,
+    align_with_recorder, Aligned, Method, StreamingUnsupported,
+    DEFAULT_STREAM_SHARDS,
 };
 pub use metrics::{EdgeStats, MatchBreakdown, NodeCounts};
 pub use methods::{
@@ -90,3 +91,6 @@ pub use weighted::WeightedPartition;
 // The thread-count knob of the engine, re-exported so downstream crates
 // (CLI, benches) need not depend on rdf-par directly.
 pub use rdf_par::Threads;
+// The instrumentation handle the engines accept, re-exported for the
+// same reason.
+pub use rdf_obs::Recorder;

@@ -15,7 +15,9 @@ use crate::partition::{unaligned_nodes, Partition};
 use crate::stream::StreamingRefineEngine;
 use crate::weighted::WeightedPartition;
 use rdf_model::{CombinedGraph, GraphShards, NodeId, RdfGraph, Vocab};
+use rdf_obs::Recorder;
 use rdf_par::Threads;
+use std::sync::Arc;
 
 /// Which alignment method to run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -99,8 +101,41 @@ pub fn align_with(
     method: Method,
     threads: Threads,
 ) -> Aligned {
-    let mut engine = RefineEngine::new(threads);
-    let combined = CombinedGraph::union(vocab, source, target);
+    align_with_recorder(
+        vocab,
+        source,
+        target,
+        method,
+        threads,
+        Arc::new(Recorder::disabled()),
+    )
+}
+
+/// As [`align_with`], with an instrumentation recorder threaded through
+/// the refinement engine (per-round spans, barrier-wait counters) and
+/// the pipeline stages (`align.union`, `align.metrics` spans).
+///
+/// Tracing is inert: the returned alignment is bit-identical to
+/// [`align_with`] for every recorder.
+pub fn align_with_recorder(
+    vocab: &Vocab,
+    source: &RdfGraph,
+    target: &RdfGraph,
+    method: Method,
+    threads: Threads,
+    recorder: Arc<Recorder>,
+) -> Aligned {
+    let rec = Arc::clone(&recorder);
+    let mut engine = RefineEngine::with_recorder(threads, recorder);
+    let combined = {
+        let mut sp = rec.span("align.union");
+        let combined = CombinedGraph::union(vocab, source, target);
+        if sp.enabled() {
+            sp.field("nodes", combined.graph().node_count());
+            sp.field("triples", combined.graph().triple_count());
+        }
+        combined
+    };
     let weighted = match method {
         Method::Trivial => {
             WeightedPartition::zero(trivial_partition(&combined))
@@ -115,9 +150,14 @@ pub fn align_with(
             overlap_align_with(&combined, vocab, cfg, &mut engine).weighted
         }
     };
+    let mut sp = rec.span("align.metrics");
     let edges = edge_stats(&weighted.partition, &combined);
     let nodes = node_counts(&weighted.partition, &combined);
     let unaligned = unaligned_nodes(&weighted.partition, &combined);
+    if sp.enabled() {
+        sp.field("unaligned", unaligned.len());
+    }
+    drop(sp);
     Aligned {
         combined,
         weighted,
@@ -171,9 +211,44 @@ pub fn align_streaming_with(
     threads: Threads,
     stream_shards: usize,
 ) -> Result<Aligned, StreamingUnsupported> {
-    let combined = CombinedGraph::union(vocab, source, target);
+    align_streaming_with_recorder(
+        vocab,
+        source,
+        target,
+        method,
+        threads,
+        stream_shards,
+        Arc::new(Recorder::disabled()),
+    )
+}
+
+/// As [`align_streaming_with`], with an instrumentation recorder
+/// threaded through the streaming engine (per-round and per-shard
+/// spans, the `stream.peak_shard_bytes` gauge) and the pipeline
+/// stages. Tracing is inert: the returned alignment is bit-identical
+/// to [`align_streaming_with`] for every recorder.
+#[allow(clippy::too_many_arguments)]
+pub fn align_streaming_with_recorder(
+    vocab: &Vocab,
+    source: &RdfGraph,
+    target: &RdfGraph,
+    method: Method,
+    threads: Threads,
+    stream_shards: usize,
+    recorder: Arc<Recorder>,
+) -> Result<Aligned, StreamingUnsupported> {
+    let rec = Arc::clone(&recorder);
+    let combined = {
+        let mut sp = rec.span("align.union");
+        let combined = CombinedGraph::union(vocab, source, target);
+        if sp.enabled() {
+            sp.field("nodes", combined.graph().node_count());
+            sp.field("triples", combined.graph().triple_count());
+        }
+        combined
+    };
     let shards = GraphShards::chunked(combined.graph(), stream_shards);
-    let mut engine = StreamingRefineEngine::new(threads);
+    let mut engine = StreamingRefineEngine::with_recorder(threads, recorder);
     // In-memory graph shards cannot fail to load, overlap, or point
     // outside the graph; the expect documents that invariant.
     let infallible = "in-memory graph shards are well-formed";
@@ -193,9 +268,14 @@ pub fn align_streaming_with(
         ),
         Method::Overlap(_) => return Err(StreamingUnsupported),
     };
+    let mut sp = rec.span("align.metrics");
     let edges = edge_stats(&weighted.partition, &combined);
     let nodes = node_counts(&weighted.partition, &combined);
     let unaligned = unaligned_nodes(&weighted.partition, &combined);
+    if sp.enabled() {
+        sp.field("unaligned", unaligned.len());
+    }
+    drop(sp);
     Ok(Aligned {
         combined,
         weighted,

@@ -36,8 +36,11 @@ use crate::engine::{recolor_signature, RoundKey};
 use crate::partition::{ColorId, Partition};
 use crate::refine::RefineOutcome;
 use rdf_model::{FxHashMap, LabelId, ShardColumns, ShardColumnsSource};
+use rdf_obs::Recorder;
 use rdf_par::{chunk_ranges, scoped_try_map, Threads};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Failure of a streaming refinement run.
 #[derive(Debug)]
@@ -119,6 +122,9 @@ type Spill = (Vec<(u32, RoundKey)>, usize);
 #[derive(Debug)]
 pub struct StreamingRefineEngine {
     threads: usize,
+    /// Instrumentation sink; [`Recorder::disabled`] by default, in
+    /// which case every emission site reduces to one branch.
+    recorder: Arc<Recorder>,
     /// Canonicalisation intern map, reused round to round and run to
     /// run.
     map: FxHashMap<RoundKey, u32>,
@@ -132,6 +138,7 @@ impl StreamingRefineEngine {
     pub fn new(threads: Threads) -> Self {
         StreamingRefineEngine {
             threads: threads.resolve(),
+            recorder: Arc::new(Recorder::disabled()),
             map: FxHashMap::default(),
             peak_shard_bytes: 0,
         }
@@ -140,6 +147,20 @@ impl StreamingRefineEngine {
     /// An engine on the default (auto) thread configuration.
     pub fn auto() -> Self {
         StreamingRefineEngine::new(Threads::Auto)
+    }
+
+    /// An engine with an instrumentation recorder attached. Tracing
+    /// never changes results: the emitted partition is bit-identical
+    /// with any recorder (the inertness suite proves it).
+    pub fn with_recorder(threads: Threads, recorder: Arc<Recorder>) -> Self {
+        let mut engine = StreamingRefineEngine::new(threads);
+        engine.recorder = recorder;
+        engine
+    }
+
+    /// Attach (or replace) the instrumentation recorder.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
     }
 
     /// The resolved worker count.
@@ -185,16 +206,50 @@ impl StreamingRefineEngine {
                 rounds: 1,
             });
         }
+        let rec = Arc::clone(&self.recorder);
+        let mut fix = rec.span("refine.fixpoint");
         let mut partition = initial;
         let mut rounds = 0usize;
         loop {
+            let mut sp = rec.span("refine.round");
+            let prev_num = partition.num_colors();
+            let sig_start = sp.enabled().then(Instant::now);
             let spills = self.signature_phase(source, &partition, in_x)?;
+            let sig_us =
+                sig_start.map(|t| t.elapsed().as_micros() as u64);
+            let canon_start = sp.enabled().then(Instant::now);
             let (colors, new_num) =
                 self.canonicalise(n, &partition, in_x, spills)?;
             let changed = new_num != partition.num_colors();
             partition = Partition::from_dense(colors, new_num);
             rounds += 1;
+            if sp.enabled() {
+                sp.field("round", rounds);
+                sp.field("classes", new_num);
+                sp.field("splits", new_num.saturating_sub(prev_num));
+                if let Some(us) = sig_us {
+                    sp.field("sig_us", us);
+                }
+                if let Some(t) = canon_start {
+                    sp.field(
+                        "canon_us",
+                        t.elapsed().as_micros() as u64,
+                    );
+                }
+                // The external-memory claim, live: largest single-shard
+                // residency any worker has held so far.
+                rec.gauge("stream.peak_shard_bytes")
+                    .set(self.peak_shard_bytes as u64);
+            }
+            drop(sp);
             if !changed {
+                if fix.enabled() {
+                    fix.field("rounds", rounds);
+                    fix.field("classes", partition.num_colors());
+                    fix.field("nodes", n);
+                    fix.field("threads", self.threads);
+                    fix.field("shards", source.shard_count());
+                }
                 return Ok(RefineOutcome { partition, rounds });
             }
         }
@@ -245,18 +300,32 @@ impl StreamingRefineEngine {
         }
         let workers = self.threads.min(shards).max(1);
         let ranges = chunk_ranges(shards, workers);
+        let rec = Arc::clone(&self.recorder);
+        let rec = &*rec;
         // One task per worker, draining a contiguous range of shard
         // indices in order; flattening per-task results in task order
         // recovers exact shard order, independent of thread count.
+        // Per-shard spans are emitted once per (round, shard) — their
+        // count is a pure function of the run's structure, never of
+        // the thread count — and tagged with the worker index.
         let per_task: Vec<Vec<Spill>> =
-            scoped_try_map(ranges, |_, range| {
+            scoped_try_map(ranges, |ti, range| {
                 let mut out = Vec::with_capacity(range.len());
                 let mut buf: Vec<(u32, u32)> = Vec::new();
                 for k in range {
+                    let mut sp = rec.span("refine.shard");
                     let cols = source
                         .load_shard(k)
                         .map_err(StreamError::Source)?;
-                    out.push(spill_shard(&cols, partition, in_x, n, &mut buf)?);
+                    let spill =
+                        spill_shard(&cols, partition, in_x, n, &mut buf)?;
+                    if sp.enabled() {
+                        sp.field("shard", k);
+                        sp.field("worker", ti);
+                        sp.field("keys", spill.0.len());
+                        sp.field("bytes", spill.1);
+                    }
+                    out.push(spill);
                     // `cols` drops here: one shard resident per worker.
                 }
                 Ok(out)

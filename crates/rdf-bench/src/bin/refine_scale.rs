@@ -10,18 +10,21 @@
 //! [`rdf_align::RefineEngine`] per thread count in `LIST` (default
 //! `1,2,4,8`), asserts every thread count produces the bit-identical
 //! partition, and writes `BENCH_refine_scale.json` with per-thread wall
-//! times and the 4-thread speedup. The `cores` parameter records the
-//! machine's visible parallelism — speedups above 1 are only physically
-//! possible when `cores > 1`, so readers (and CI) can interpret the
-//! numbers. Exits non-zero if any thread count diverges from the
-//! single-thread partition.
+//! times, the per-thread speedups, and an embedded `run_report` (the
+//! aggregated trace of one instrumented baseline run). The `cores`
+//! parameter records the machine's visible parallelism, and the
+//! speedups go through [`BenchRecord::speedup`]'s honesty gate: on a
+//! single-core machine they are emitted as `null` with a `caveat`
+//! parameter instead of a meaningless number. Exits non-zero if any
+//! thread count diverges from the single-thread partition.
 
 use rdf_align::engine::RefineEngine;
 use rdf_align::methods::hybrid_partition_with;
-use rdf_align::Threads;
+use rdf_align::{Recorder, Threads};
 use rdf_bench::BenchRecord;
 use rdf_datagen::{generate_efo, EfoConfig};
 use rdf_model::CombinedGraph;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -153,11 +156,29 @@ fn main() {
             record.wall_ms = best;
         }
         if let Some(base_ms) = ms_of_one {
-            record = record.metric(&format!("speedup_t{t}"), base_ms / best);
+            // Thread-count speedups go through the honesty gate: on a
+            // single-core machine they are stamped `null` + caveat.
+            record = record.speedup(&format!("speedup_t{t}"), base_ms / best);
             if t != threads_list[0] {
                 println!("    speedup vs t{}: {:.2}x", threads_list[0], base_ms / best);
             }
         }
+    }
+
+    // One extra instrumented run at the baseline thread count: the
+    // BENCH json carries the phase breakdown (per-round spans, barrier
+    // counters), not just the headline wall time.
+    let rec = Arc::new(Recorder::jsonl_writer(Box::new(std::io::sink())));
+    let mut engine = RefineEngine::with_recorder(
+        Threads::Fixed(threads_list[0]),
+        Arc::clone(&rec),
+    );
+    let _ = hybrid_partition_with(&combined, &mut engine);
+    drop(engine);
+    match rec.finish() {
+        Ok(Some(report)) => record = record.with_report(report),
+        Ok(None) => {}
+        Err(e) => eprintln!("refine_scale: trace not embedded: {e}"),
     }
 
     if let Some(dir) = &json_dir {

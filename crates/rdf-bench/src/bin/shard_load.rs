@@ -9,16 +9,19 @@
 //! Writes every store layout into a scratch directory, loads each from
 //! disk (best of `reps`), asserts every sharded load is **bit-identical**
 //! to the single-file load (same labels, kinds, triples), and writes
-//! `BENCH_shard_load.json` with per-shard-count wall-ms and speedups.
-//! The `cores` parameter records the machine's visible parallelism —
-//! the concurrent shard load can only beat the single file when
-//! `cores > 1`, so readers (and CI) can interpret the numbers. Exits
-//! non-zero if any shard count diverges from the single-file load.
+//! `BENCH_shard_load.json` with per-shard-count wall-ms, speedups and
+//! an embedded `run_report` (per-shard load spans with bytes and CRC
+//! time). The `cores` parameter records the machine's visible
+//! parallelism, and the speedups go through [`BenchRecord::speedup`]'s
+//! honesty gate — the concurrent shard load can only beat the single
+//! file when `cores > 1`, so on a single-core machine they are emitted
+//! as `null` with a `caveat` parameter. Exits non-zero if any shard
+//! count diverges from the single-file load.
 
+use rdf_align::{Recorder, Threads};
 use rdf_bench::BenchRecord;
 use rdf_datagen::{generate_efo, EfoConfig};
 use rdf_model::RdfGraph;
-use rdf_align::Threads;
 use rdf_store::{save_graph, save_sharded, ShardedReader, StoreReader};
 use std::time::Instant;
 
@@ -166,7 +169,28 @@ fn main() {
         );
         record = record
             .metric(&format!("sharded_ms_s{n}"), best)
-            .metric(&format!("speedup_s{n}"), speedup);
+            // Parallel-load speedups go through the honesty gate: on a
+            // single-core machine they are stamped `null` + caveat.
+            .speedup(&format!("speedup_s{n}"), speedup);
+    }
+
+    // One instrumented load of the last shard count so the BENCH json
+    // carries per-shard load spans (bytes, CRC time) alongside the
+    // headline wall times.
+    let n = *shards_list.last().expect("non-empty shard list");
+    let rec = Recorder::jsonl_writer(Box::new(std::io::sink()));
+    let traced = ShardedReader::open(dir.join(format!("g{n}.rdfm")))
+        .unwrap()
+        .read_graph_with_info_traced(Threads::Auto, &rec);
+    match traced {
+        Err(e) => eprintln!("shard_load: trace not embedded: {e}"),
+        Ok(_) => match rec.finish() {
+            Ok(Some(report)) => {
+                record = record.param("trace_shards", n).with_report(report);
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("shard_load: trace not embedded: {e}"),
+        },
     }
 
     if let Some(dir) = &json_dir {

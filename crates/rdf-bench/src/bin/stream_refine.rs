@@ -20,13 +20,16 @@
 //! `resident_ratio_sN` shrinks roughly like `1/N`. Streaming re-reads
 //! every shard file once per refinement round, so its wall time is
 //! expected to trail the in-RAM engine — the win is bounded residency,
-//! not speed. Exits non-zero if any configuration diverges from the
-//! in-RAM partition.
+//! not speed. The record embeds a `run_report` from one instrumented
+//! streaming run, asserted consistent with the engine (round count and
+//! peak-shard gauge match exactly). Exits non-zero if any
+//! configuration diverges from the in-RAM partition.
 
-use rdf_align::{RefineEngine, StreamingRefineEngine, Threads};
+use rdf_align::{Recorder, RefineEngine, StreamingRefineEngine, Threads};
 use rdf_bench::BenchRecord;
 use rdf_datagen::{generate_efo, EfoConfig};
 use rdf_store::{save_sharded, ShardedReader};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -185,6 +188,47 @@ fn main() {
             .metric(&format!("peak_shard_bytes_s{n}"), peak)
             .metric(&format!("resident_ratio_s{n}"), ratio);
     }
+
+    // One instrumented streaming run (last shard count), embedded as
+    // the record's `run_report` — and cross-checked against the engine
+    // so the trace and the BENCH numbers can never drift apart: the
+    // per-round span count must equal the engine's round count and the
+    // peak-shard gauge must equal `peak_shard_bytes()` exactly.
+    let n = *shards_list.last().expect("non-empty shard list");
+    let manifest = dir.join(format!("g{n}.rdfm"));
+    let rec = Arc::new(Recorder::jsonl_writer(Box::new(std::io::sink())));
+    let mut store = ShardedReader::open(&manifest)
+        .unwrap()
+        .open_streaming()
+        .unwrap();
+    store.set_recorder(Arc::clone(&rec));
+    let mut engine = StreamingRefineEngine::with_recorder(threads, Arc::clone(&rec));
+    let out = engine
+        .bisimulation(&store, store.labels())
+        .expect("traced rerun over freshly written shards");
+    assert_eq!(
+        out.partition.colors(),
+        baseline.partition.colors(),
+        "instrumented run must be bit-identical to the untraced one"
+    );
+    let peak = engine.peak_shard_bytes() as u64;
+    drop(engine);
+    drop(store);
+    let report = rec
+        .finish()
+        .expect("sink recorder cannot fail on I/O")
+        .expect("jsonl-mode recorder yields a report");
+    let rounds_traced = report.span("refine.round").map_or(0, |s| s.count);
+    assert_eq!(
+        rounds_traced, out.rounds as u64,
+        "per-round span count must equal the engine's round count"
+    );
+    assert_eq!(
+        report.gauge("stream.peak_shard_bytes"),
+        Some(peak),
+        "traced peak-shard gauge must match the engine exactly"
+    );
+    record = record.param("trace_shards", n).with_report(report);
 
     if let Some(dir) = &json_dir {
         match record.write_to(dir) {

@@ -13,17 +13,18 @@ pub mod pipeline;
 
 use crate::pipeline::{ctx, open_any};
 use rdf_align::pipeline::{
-    align_streaming_with as pipeline_align_streaming_with,
-    align_with as pipeline_align_with, Aligned, Method,
+    align_streaming_with_recorder, align_with_recorder, Aligned, Method,
     DEFAULT_STREAM_SHARDS,
 };
 use rdf_align::{RefineEngine, StreamingRefineEngine, Threads};
 use rdf_model::{ShardColumnsSource, Vocab};
+use rdf_obs::{Recorder, RunReport};
 use rdf_store::AnyReader;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
-pub use pipeline::{load_input, load_input_with};
+pub use pipeline::{load_input, load_input_traced, load_input_with};
 
 /// Any failure surfaced to the CLI user, with file context baked into
 /// the message.
@@ -53,6 +54,19 @@ pub fn import(
     output: &Path,
     shards: Option<usize>,
 ) -> Result<String, CliError> {
+    import_traced(input, output, shards, &Recorder::disabled())
+}
+
+/// [`import`] with instrumentation: the streaming parse+write (or, for
+/// sharded output, the parse and the sharded write separately) are
+/// wrapped in spans. The report text is byte-identical to the untraced
+/// run.
+pub fn import_traced(
+    input: &Path,
+    output: &Path,
+    shards: Option<usize>,
+    rec: &Recorder,
+) -> Result<String, CliError> {
     let file = std::fs::File::open(input).map_err(|e| ctx(input, e))?;
     let reader = std::io::BufReader::new(file);
     let in_bytes = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
@@ -60,11 +74,16 @@ pub fn import(
         None => {
             let out =
                 std::fs::File::create(output).map_err(|e| ctx(output, e))?;
+            let mut sp = rec.span("import.run");
+            sp.field("bytes_in", in_bytes);
             let (vocab, graph) = rdf_store::import_ntriples(
                 reader,
                 std::io::BufWriter::new(out),
             )
             .map_err(|e| ctx(input, e))?;
+            sp.field("nodes", graph.node_count());
+            sp.field("triples", graph.triple_count());
+            drop(sp);
             let out_bytes =
                 std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
             Ok(format!(
@@ -80,10 +99,19 @@ pub fn import(
         }
         Some(n) => {
             let mut vocab = Vocab::new();
-            let graph = rdf_io::parse_graph_reader(reader, &mut vocab)
-                .map_err(|e| ctx(input, e))?;
-            let paths = rdf_store::save_sharded(output, &vocab, &graph, n)
-                .map_err(|e| ctx(output, e))?;
+            let graph = {
+                let mut sp = rec.span("import.parse");
+                sp.field("bytes_in", in_bytes);
+                rdf_io::parse_graph_reader(reader, &mut vocab)
+                    .map_err(|e| ctx(input, e))?
+            };
+            let paths = {
+                let mut sp = rec.span("import.write");
+                sp.field("shards", n);
+                sp.field("triples", graph.triple_count());
+                rdf_store::save_sharded(output, &vocab, &graph, n)
+                    .map_err(|e| ctx(output, e))?
+            };
             let out_bytes: u64 = paths
                 .iter()
                 .map(|p| {
@@ -140,6 +168,19 @@ pub fn info(
     bisim: Option<Threads>,
     streaming: bool,
 ) -> Result<String, CliError> {
+    info_traced(input, bisim, streaming, &Arc::new(Recorder::disabled()))
+}
+
+/// [`info`] with instrumentation: store loads emit `store.open` /
+/// `store.section` / `shard.load` spans and the `--bisim` refinement
+/// emits its `refine.*` spans into `rec`. The report text is
+/// byte-identical to the untraced run.
+pub fn info_traced(
+    input: &Path,
+    bisim: Option<Threads>,
+    streaming: bool,
+    rec: &Arc<Recorder>,
+) -> Result<String, CliError> {
     if streaming && bisim.is_none() {
         return Err(CliError::new("--streaming requires --bisim"));
     }
@@ -187,9 +228,10 @@ pub fn info(
                 if info.header.kind == rdf_store::KIND_GRAPH {
                     // Decode from the reader's already-loaded bytes rather
                     // than re-reading the file from disk.
-                    let (_, graph) =
-                        reader.read_graph().map_err(|e| ctx(input, e))?;
-                    out.push_str(&bisim_summary(&graph, threads));
+                    let (_, graph) = reader
+                        .read_graph_traced(rec)
+                        .map_err(|e| ctx(input, e))?;
+                    out.push_str(&bisim_summary(&graph, threads, rec));
                 } else {
                     out.push_str(
                         "  bisimulation: n/a (not a graph store)\n",
@@ -211,7 +253,7 @@ pub fn info(
                 }
                 (Some(threads), false) => {
                     let (info, _, graph) = reader
-                        .read_graph_with_info(threads)
+                        .read_graph_with_info_traced(threads, rec)
                         .map_err(|e| ctx(input, e))?;
                     (info, Some(graph))
                 }
@@ -240,10 +282,14 @@ pub fn info(
                 (Some(threads), true, _) => {
                     // Shard-at-a-time: only the color vector plus one
                     // shard's columns per worker are ever resident.
-                    let store = reader
+                    let mut store = reader
                         .open_streaming()
                         .map_err(|e| ctx(input, e))?;
-                    let mut engine = StreamingRefineEngine::new(threads);
+                    store.set_recorder(Arc::clone(rec));
+                    let mut engine = StreamingRefineEngine::with_recorder(
+                        threads,
+                        Arc::clone(rec),
+                    );
                     let bisim = engine
                         .bisimulation(&store, store.labels())
                         .map_err(|e| ctx(input, e))?;
@@ -255,7 +301,7 @@ pub fn info(
                     ));
                 }
                 (Some(threads), false, Some(graph)) => {
-                    out.push_str(&bisim_summary(graph, threads));
+                    out.push_str(&bisim_summary(graph, threads, rec));
                 }
                 _ => {}
             }
@@ -265,8 +311,12 @@ pub fn info(
 }
 
 /// Render the `info --bisim` summary line for a loaded graph.
-fn bisim_summary(graph: &rdf_model::RdfGraph, threads: Threads) -> String {
-    let mut engine = RefineEngine::new(threads);
+fn bisim_summary(
+    graph: &rdf_model::RdfGraph,
+    threads: Threads,
+    rec: &Arc<Recorder>,
+) -> String {
+    let mut engine = RefineEngine::with_recorder(threads, Arc::clone(rec));
     let bisim = engine.bisimulation(graph.graph());
     bisim_line(
         bisim.partition.num_colors(),
@@ -389,22 +439,48 @@ pub fn align(
     threads: Threads,
     streaming: bool,
 ) -> Result<AlignOutcome, CliError> {
+    align_traced(
+        source,
+        target,
+        method_name,
+        theta,
+        threads,
+        streaming,
+        &Arc::new(Recorder::disabled()),
+    )
+}
+
+/// [`align`] with instrumentation: input loads emit store spans and
+/// the pipeline emits `align.*` / `refine.*` spans into `rec`. The
+/// rendered report is byte-identical to the untraced run — tracing is
+/// a pure side channel.
+#[allow(clippy::too_many_arguments)]
+pub fn align_traced(
+    source: &Path,
+    target: &Path,
+    method_name: &str,
+    theta: Option<f64>,
+    threads: Threads,
+    streaming: bool,
+    rec: &Arc<Recorder>,
+) -> Result<AlignOutcome, CliError> {
     let method = parse_method(method_name, theta)?;
     let mut vocab = Vocab::new();
-    let g1 = load_input_with(source, &mut vocab, threads)?;
-    let g2 = load_input_with(target, &mut vocab, threads)?;
+    let g1 = load_input_traced(source, &mut vocab, threads, rec)?;
+    let g2 = load_input_traced(target, &mut vocab, threads, rec)?;
     let aligned = if streaming {
-        pipeline_align_streaming_with(
+        align_streaming_with_recorder(
             &vocab,
             &g1,
             &g2,
             method,
             threads,
             DEFAULT_STREAM_SHARDS,
+            Arc::clone(rec),
         )
         .map_err(|e| CliError::new(e.to_string()))?
     } else {
-        pipeline_align_with(&vocab, &g1, &g2, method, threads)
+        align_with_recorder(&vocab, &g1, &g2, method, threads, Arc::clone(rec))
     };
     Ok(AlignOutcome {
         method: method_name.to_string(),
@@ -420,6 +496,15 @@ pub fn align(
         ),
         aligned,
     })
+}
+
+/// `rdf stats <trace.jsonl>` — aggregate a `--trace` run (or re-render
+/// its final report line) as a table of span, counter and gauge totals.
+pub fn stats(trace: &Path) -> Result<String, CliError> {
+    let text =
+        std::fs::read_to_string(trace).map_err(|e| ctx(trace, e))?;
+    let report = RunReport::from_jsonl(&text).map_err(|e| ctx(trace, e))?;
+    Ok(report.render_table())
 }
 
 /// `rdf gen [--scale F] [--versions N] --out-dir DIR` — write the first

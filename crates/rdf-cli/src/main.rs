@@ -1,11 +1,13 @@
 //! `rdf` — the pipeline from the shell: N-Triples → store → alignment.
 //!
 //! ```text
-//! rdf import [--shards N] <input.nt> <output>
+//! rdf import [--shards N] [--trace PATH] <input.nt> <output>
 //! rdf export <input> <output.nt>
-//! rdf info   [--bisim [--streaming]] [--threads N] <file>
+//! rdf info   [--bisim [--streaming]] [--threads N] [--trace PATH] <file>
 //! rdf align  [--method trivial|deblank|hybrid|overlap] [--theta T]
-//!            [--threads N] [--streaming] <source> <target>
+//!            [--threads N] [--streaming] [--trace PATH]
+//!            <source> <target>
+//! rdf stats  <trace.jsonl>
 //! rdf gen    [--scale F] [--versions N] --out-dir DIR
 //! ```
 //!
@@ -17,22 +19,23 @@
 //! output, and `--streaming` swaps in the shard-at-a-time engine
 //! without changing the output either.
 
-use rdf_align::Threads;
+use rdf_align::{Recorder, Threads};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 usage: rdf <command> [options]
 
 commands:
-  import [--shards N] <input.nt> <output>
+  import [--shards N] [--trace PATH] <input.nt> <output>
                                     parse N-Triples (streaming) into a
                                     store: one .rdfb file, or with
                                     --shards N a .rdfm manifest plus N
                                     subject-hash-partitioned shards
   export <input> <output.nt>        write a store (single-file or
                                     sharded) as canonical N-Triples
-  info   [--bisim [--streaming]] [--threads N] <file>
+  info   [--bisim [--streaming]] [--threads N] [--trace PATH] <file>
                                     header, counts, sections/shards,
                                     checksums; --bisim adds a maximal-
                                     bisimulation summary (graph stores);
@@ -40,7 +43,7 @@ commands:
                                     time from a .rdfm manifest, never
                                     materialising the stitched graph
   align  [--method M] [--theta T] [--threads N] [--streaming]
-         <source> <target>
+         [--trace PATH] <source> <target>
                                     align two graphs (stores, manifests
                                     or N-Triples, mixed freely);
                                     M = trivial|deblank|hybrid|overlap
@@ -49,6 +52,9 @@ commands:
                                     time (byte-identical report; inputs
                                     are still loaded to build the union;
                                     not for overlap)
+  stats  <trace.jsonl>              aggregate a --trace file into a
+                                    table of span / counter / gauge
+                                    totals (per-phase time breakdown)
   gen    [--scale F] [--versions N] --out-dir DIR
                                     write seeded EFO-like N-Triples fixtures
 
@@ -59,6 +65,15 @@ threading:
                                     auto uses the RDF_THREADS environment
                                     variable when set, else all cores.
 
+tracing:
+  --trace PATH                      (import|info|align) append one JSONL
+                                    event per timed span to PATH, plus a
+                                    final aggregated report line. Setting
+                                    RDF_TRACE=PATH traces without the
+                                    flag. Tracing never changes a
+                                    command's stdout — reports stay
+                                    byte-identical.
+
 Run `rdf <command> --help` for per-command details.
 
 EXAMPLES
@@ -66,16 +81,19 @@ EXAMPLES
   rdf import --shards 4 /tmp/efo/efo-v1.nt /tmp/efo/v1.rdfm
   rdf import --shards 4 /tmp/efo/efo-v2.nt /tmp/efo/v2.rdfm
   rdf info --bisim --streaming /tmp/efo/v1.rdfm
-  rdf align --method hybrid --streaming /tmp/efo/v1.rdfm /tmp/efo/v2.rdfm
+  rdf align --method hybrid --streaming --trace /tmp/efo/trace.jsonl /tmp/efo/v1.rdfm /tmp/efo/v2.rdfm
+  rdf stats /tmp/efo/trace.jsonl
 ";
 
 const HELP_IMPORT: &str = "\
-usage: rdf import [--shards N] <input.nt> <output>
+usage: rdf import [--shards N] [--trace PATH] <input.nt> <output>
 
 Parse N-Triples (streaming, one line resident at a time) into a
 dictionary-encoded store. Without --shards the output is a single
 .rdfb file; with --shards N it is a .rdfm manifest plus N
 subject-hash-partitioned .rdfb shard files written next to it.
+--trace PATH (or RDF_TRACE=PATH) appends timing events as JSONL; see
+`rdf stats`.
 
 EXAMPLES
   rdf import /tmp/efo/efo-v1.nt /tmp/efo/v1.rdfb
@@ -94,7 +112,8 @@ EXAMPLES
 ";
 
 const HELP_INFO: &str = "\
-usage: rdf info [--bisim [--streaming]] [--threads N] <file>
+usage: rdf info [--bisim [--streaming]] [--threads N] [--trace PATH]
+                <file>
 
 Report the container header, counts and per-section (or per-shard)
 sizes; every checksum — including each shard file of a manifest — is
@@ -102,7 +121,9 @@ verified first. --bisim adds a maximal-bisimulation summary (classes,
 rounds) for graph stores, computed on the deterministic parallel
 engine. --bisim --streaming computes the same summary shard-at-a-time
 from a .rdfm manifest: only the color vector plus one shard's columns
-per worker stay resident, and the line is byte-identical.
+per worker stay resident, and the line is byte-identical. --trace PATH
+(or RDF_TRACE=PATH) appends load and refinement timing events as
+JSONL; see `rdf stats`.
 
 EXAMPLES
   rdf info /tmp/efo/v1.rdfb
@@ -112,7 +133,7 @@ EXAMPLES
 
 const HELP_ALIGN: &str = "\
 usage: rdf align [--method M] [--theta T] [--threads N] [--streaming]
-                 <source> <target>
+                 [--trace PATH] <source> <target>
 
 Align two graph versions and print the report of §5 metrics. Inputs
 may be .rdfb stores, .rdfm sharded manifests or N-Triples text, mixed
@@ -122,12 +143,27 @@ shard-at-a-time (trivial|deblank|hybrid only) — the report is
 byte-identical to the in-RAM engine's at every thread count. Note that
 align still loads both inputs and builds their union in memory; only
 the refinement working set is shard-bounded (the fully external path
-is `rdf info --bisim --streaming`).
+is `rdf info --bisim --streaming`). --trace PATH (or RDF_TRACE=PATH)
+appends load, union and per-round refinement timing events as JSONL
+without changing the report; see `rdf stats`.
 
 EXAMPLES
   rdf align --method hybrid /tmp/efo/v1.rdfb /tmp/efo/v2.rdfb
   rdf align --method overlap --theta 0.5 /tmp/efo/v1.rdfb /tmp/efo/v2.rdfb
   rdf align --streaming /tmp/efo/v1.rdfm /tmp/efo/v2.rdfm
+";
+
+const HELP_STATS: &str = "\
+usage: rdf stats <trace.jsonl>
+
+Aggregate a --trace run into a table: one row per span family (count,
+total ms, mean us), then counter and gauge totals. The input is the
+JSONL file written by `rdf import|info|align --trace PATH` (or with
+RDF_TRACE=PATH set); its format is specified in docs/TRACE_FORMAT.md.
+
+EXAMPLES
+  rdf align --trace /tmp/efo/trace.jsonl /tmp/efo/v1.rdfb /tmp/efo/v2.rdfb
+  rdf stats /tmp/efo/trace.jsonl
 ";
 
 const HELP_GEN: &str = "\
@@ -144,6 +180,27 @@ EXAMPLES
 /// Whether the argument list asks for help.
 fn wants_help(rest: &[String]) -> bool {
     rest.iter().any(|a| a == "--help" || a == "-h")
+}
+
+/// Resolve the tracing recorder for a command: the `--trace` flag wins,
+/// else the `RDF_TRACE` environment variable, else tracing is disabled.
+fn trace_recorder(
+    flag: Option<PathBuf>,
+) -> Result<Arc<Recorder>, String> {
+    let path = flag
+        .or_else(|| std::env::var_os("RDF_TRACE").map(PathBuf::from));
+    match path {
+        Some(p) => Recorder::jsonl_file(&p)
+            .map(Arc::new)
+            .map_err(|e| format!("{}: {e}", p.display())),
+        None => Ok(Arc::new(Recorder::disabled())),
+    }
+}
+
+/// Flush the trace (writing the final aggregated report line) after a
+/// command completed. A no-op for the disabled recorder.
+fn finish_trace(rec: &Recorder) -> Result<(), String> {
+    rec.finish().map(|_| ()).map_err(|e| format!("trace: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -168,6 +225,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 return Ok(HELP_IMPORT.to_string());
             }
             let mut shards: Option<usize> = None;
+            let mut trace: Option<PathBuf> = None;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -185,14 +243,22 @@ fn run(args: &[String]) -> Result<String, String> {
                         }
                         shards = Some(n);
                     }
+                    "--trace" => {
+                        trace = Some(PathBuf::from(
+                            it.next().ok_or("--trace needs a path")?,
+                        ));
+                    }
                     other => inputs.push(PathBuf::from(other)),
                 }
             }
             let [input, output]: [PathBuf; 2] = inputs
                 .try_into()
                 .map_err(|_| "import takes exactly two paths")?;
-            rdf_cli::import(&input, &output, shards)
-                .map_err(|e| e.to_string())
+            let rec = trace_recorder(trace)?;
+            let out = rdf_cli::import_traced(&input, &output, shards, &rec)
+                .map_err(|e| e.to_string())?;
+            finish_trace(&rec)?;
+            Ok(out)
         }
         "export" => {
             if wants_help(rest) {
@@ -208,6 +274,7 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut bisim = false;
             let mut streaming = false;
             let mut threads = Threads::Auto;
+            let mut trace: Option<PathBuf> = None;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -219,14 +286,27 @@ fn run(args: &[String]) -> Result<String, String> {
                             it.next().ok_or("--threads needs a value")?,
                         )?;
                     }
+                    "--trace" => {
+                        trace = Some(PathBuf::from(
+                            it.next().ok_or("--trace needs a path")?,
+                        ));
+                    }
                     other => inputs.push(PathBuf::from(other)),
                 }
             }
             let [input]: [PathBuf; 1] = inputs
                 .try_into()
                 .map_err(|_| "info takes exactly one file")?;
-            rdf_cli::info(&input, bisim.then_some(threads), streaming)
-                .map_err(|e| e.to_string())
+            let rec = trace_recorder(trace)?;
+            let out = rdf_cli::info_traced(
+                &input,
+                bisim.then_some(threads),
+                streaming,
+                &rec,
+            )
+            .map_err(|e| e.to_string())?;
+            finish_trace(&rec)?;
+            Ok(out)
         }
         "align" => {
             if wants_help(rest) {
@@ -236,11 +316,17 @@ fn run(args: &[String]) -> Result<String, String> {
             let mut theta: Option<f64> = None;
             let mut threads = Threads::Auto;
             let mut streaming = false;
+            let mut trace: Option<PathBuf> = None;
             let mut inputs: Vec<PathBuf> = Vec::new();
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--streaming" => streaming = true,
+                    "--trace" => {
+                        trace = Some(PathBuf::from(
+                            it.next().ok_or("--trace needs a path")?,
+                        ));
+                    }
                     "--method" => {
                         method = it
                             .next()
@@ -266,11 +352,23 @@ fn run(args: &[String]) -> Result<String, String> {
             let [source, target]: [PathBuf; 2] = inputs
                 .try_into()
                 .map_err(|_| "align takes exactly two inputs")?;
-            let outcome = rdf_cli::align(
-                &source, &target, &method, theta, threads, streaming,
+            let rec = trace_recorder(trace)?;
+            let outcome = rdf_cli::align_traced(
+                &source, &target, &method, theta, threads, streaming, &rec,
             )
             .map_err(|e| e.to_string())?;
+            finish_trace(&rec)?;
             Ok(outcome.render())
+        }
+        "stats" => {
+            if wants_help(rest) {
+                return Ok(HELP_STATS.to_string());
+            }
+            let [trace] = match rest {
+                [a] => [PathBuf::from(a)],
+                _ => return Err("stats takes exactly one trace file".into()),
+            };
+            rdf_cli::stats(&trace).map_err(|e| e.to_string())
         }
         "gen" => {
             if wants_help(rest) {

@@ -7,6 +7,7 @@
 use crate::CliError;
 use rdf_align::Threads;
 use rdf_model::{rebase_into, RdfGraph, Vocab};
+use rdf_obs::Recorder;
 use rdf_store::AnyReader;
 use std::path::Path;
 
@@ -55,9 +56,22 @@ pub fn load_input_with(
     vocab: &mut Vocab,
     threads: Threads,
 ) -> Result<RdfGraph, CliError> {
+    load_input_traced(path, vocab, threads, &Recorder::disabled())
+}
+
+/// [`load_input_with`] with instrumentation: store loads emit
+/// `store.open` / `store.section` / `shard.load` spans into `rec`
+/// (N-Triples text loads are not instrumented). The loaded graph is
+/// identical to the untraced load.
+pub fn load_input_traced(
+    path: &Path,
+    vocab: &mut Vocab,
+    threads: Threads,
+    rec: &Recorder,
+) -> Result<RdfGraph, CliError> {
     if is_store(path)? {
         let (store_vocab, graph) = open_any(path)?
-            .read_graph(threads)
+            .read_graph_traced(threads, rec)
             .map_err(|e| ctx(path, e))?;
         // Re-express the store's dictionary in the session vocabulary:
         // O(|dictionary|) string work, nothing per node or triple.

@@ -469,7 +469,7 @@ fn help_examples_execute_and_cover_every_subcommand() {
 
     // Per-subcommand help: an EXAMPLES block that addresses the
     // subcommand itself.
-    for cmd in ["import", "export", "info", "align", "gen"] {
+    for cmd in ["import", "export", "info", "align", "stats", "gen"] {
         let h = run_ok(&[cmd, "--help"]);
         assert!(h.contains("EXAMPLES"), "{cmd} --help has EXAMPLES");
         assert!(
@@ -481,6 +481,100 @@ fn help_examples_execute_and_cover_every_subcommand() {
             "{cmd} --help leads with usage: {h}"
         );
     }
+}
+
+/// `--trace` is a pure side channel: the report is byte-identical with
+/// and without it, every trace line is valid JSON with the required
+/// keys, and `rdf stats` renders the span families by name. `RDF_TRACE`
+/// traces without the flag.
+#[test]
+fn trace_and_stats_cover_span_families() {
+    let dir = TempDir::new("trace");
+    run_ok(&[
+        "gen",
+        "--scale",
+        "0.15",
+        "--versions",
+        "2",
+        "--out-dir",
+        s(&dir.0),
+    ]);
+    let v1_man = dir.path("v1.rdfm");
+    let v2_man = dir.path("v2.rdfm");
+    run_ok(&[
+        "import", "--shards", "4",
+        s(&dir.path("efo-v1.nt")), s(&v1_man),
+    ]);
+    run_ok(&[
+        "import", "--shards", "4",
+        s(&dir.path("efo-v2.nt")), s(&v2_man),
+    ]);
+
+    // Traced and untraced runs print byte-identical reports.
+    let untraced = run_ok(&[
+        "align", "--method", "hybrid", "--streaming",
+        s(&v1_man), s(&v2_man),
+    ]);
+    let trace = dir.path("t.jsonl");
+    let traced = run_ok(&[
+        "align", "--method", "hybrid", "--streaming",
+        "--trace", s(&trace),
+        s(&v1_man), s(&v2_man),
+    ]);
+    assert_eq!(untraced, traced, "--trace changed the report");
+
+    // Every trace line is one JSON object carrying the required keys.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let mut spans = 0usize;
+    let mut reports = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let j = rdf_obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {}: {e:?}", i + 1));
+        match j.get("ev").and_then(|v| v.as_str()) {
+            Some("span") => {
+                assert!(j.get("name").is_some(), "span without name");
+                assert!(j.get("us").is_some(), "span without us");
+                spans += 1;
+            }
+            Some("report") => reports += 1,
+            other => panic!("line {}: unexpected ev {other:?}", i + 1),
+        }
+    }
+    assert!(spans > 0, "trace carries span events");
+    assert_eq!(reports, 1, "exactly one final report line");
+
+    // stats aggregates the trace and names the span families.
+    let stats_out = run_ok(&["stats", s(&trace)]);
+    for family in ["refine.round", "shard.load", "align.union"] {
+        assert!(
+            stats_out.contains(family),
+            "stats table misses {family}:\n{stats_out}"
+        );
+    }
+
+    // The report line alone must agree with re-aggregating the events.
+    let report = rdf_obs::RunReport::from_jsonl(&text).unwrap();
+    assert!(report.span("refine.round").is_some());
+    assert!(report.span("shard.load").is_some());
+
+    // RDF_TRACE traces without the flag, through the same machinery.
+    let trace_env = dir.path("env.jsonl");
+    let out = Command::new(bin())
+        .args(["info", "--bisim", "--streaming", s(&v1_man)])
+        .env("RDF_TRACE", &trace_env)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(trace_env.exists(), "RDF_TRACE wrote no trace");
+    let env_stats = run_ok(&["stats", s(&trace_env)]);
+    assert!(env_stats.contains("refine.round"), "got: {env_stats}");
+    assert!(env_stats.contains("shard.load"), "got: {env_stats}");
+
+    // A malformed trace is a loud, contextful error.
+    let bad = dir.path("bad.jsonl");
+    std::fs::write(&bad, "{\"ev\":\"span\"\n").unwrap();
+    let err = run_err(&["stats", s(&bad)]);
+    assert!(err.contains("bad.jsonl"), "got: {err}");
 }
 
 #[test]

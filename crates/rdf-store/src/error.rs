@@ -65,6 +65,17 @@ pub enum StoreError {
         /// CRC computed over the file actually read.
         computed: u32,
     },
+    /// An error raised while parsing one shard of a sharded store,
+    /// wrapped with the shard's file name. A bare
+    /// [`StoreError::ChecksumMismatch`] (say) from deep inside a shard
+    /// container would otherwise never name which of the N files
+    /// failed.
+    InShard {
+        /// Shard file name as listed in the manifest.
+        shard: String,
+        /// The underlying error from parsing that shard.
+        source: Box<StoreError>,
+    },
     /// Structurally invalid content (bad counts, out-of-range ids,
     /// inconsistent dictionaries, …).
     Corrupt(String),
@@ -128,6 +139,9 @@ impl fmt::Display for StoreError {
                 "shard {shard} checksum mismatch: manifest records \
                  {stored:#010x}, file computes {computed:#010x}"
             ),
+            StoreError::InShard { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
             StoreError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
         }
     }
@@ -137,6 +151,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io(e) => Some(e),
+            StoreError::InShard { source, .. } => Some(source),
             _ => None,
         }
     }

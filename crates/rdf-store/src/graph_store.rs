@@ -31,6 +31,7 @@ use rdf_model::{
     FxHashMap, LabelId, LabelKind, NodeId, RdfGraph, Triple, TripleGraph,
     Vocab,
 };
+use rdf_obs::{Recorder, SpanGuard};
 use std::io::Write;
 use std::path::Path;
 
@@ -371,7 +372,22 @@ impl StoreReader {
     /// pass that rebuilds the vocabulary's intern maps from the
     /// dictionary.
     pub fn read_graph(&self) -> Result<(Vocab, RdfGraph), StoreError> {
+        self.read_graph_traced(&Recorder::disabled())
+    }
+
+    /// [`StoreReader::read_graph`] with instrumentation: emits one
+    /// `store.open` span covering the container parse (framing plus
+    /// every section CRC) and one `store.section` span per decoded
+    /// section body. The decoded graph is byte-identical to the
+    /// untraced load — tracing is a pure side channel.
+    pub fn read_graph_traced(
+        &self,
+        rec: &Recorder,
+    ) -> Result<(Vocab, RdfGraph), StoreError> {
+        let mut open = rec.span("store.open");
+        open.field("bytes", self.bytes.len());
         let c = Container::parse(&self.bytes)?;
+        drop(open);
         let header = *c.header();
         if header.kind != KIND_GRAPH {
             return Err(StoreError::WrongContentKind {
@@ -380,16 +396,22 @@ impl StoreReader {
             });
         }
 
-        let vocab =
-            decode_dict_checked(c.section(TAG_DICT)?, Some(header.counts[0]))?;
-        let (labels, node_kinds) = decode_node(
-            c.section(TAG_NODE)?,
-            &vocab,
-            Some(header.counts[1]),
-        )?;
+        let dict_body = c.section(TAG_DICT)?;
+        let vocab = {
+            let _sp = section_span(rec, "DICT", dict_body.len());
+            decode_dict_checked(dict_body, Some(header.counts[0]))?
+        };
+        let node_body = c.section(TAG_NODE)?;
+        let (labels, node_kinds) = {
+            let _sp = section_span(rec, "NODE", node_body.len());
+            decode_node(node_body, &vocab, Some(header.counts[1]))?
+        };
         let node_count = labels.len();
-        let triples =
-            decode_trpl(c.section(TAG_TRPL)?, Some(header.counts[2]))?;
+        let trpl_body = c.section(TAG_TRPL)?;
+        let triples = {
+            let _sp = section_span(rec, "TRPL", trpl_body.len());
+            decode_trpl(trpl_body, Some(header.counts[2]))?
+        };
         let triple_count = triples.len();
         let graph = TripleGraph::from_raw_parts(labels, node_kinds, triples)
             .map_err(|e| StoreError::Corrupt(e.to_string()))?;
@@ -398,9 +420,26 @@ impl StoreReader {
                 "duplicate triples in store".into(),
             ));
         }
-        let blank_names = decode_bnam(c.section(TAG_BNAM)?, node_count)?;
+        let bnam_body = c.section(TAG_BNAM)?;
+        let blank_names = {
+            let _sp = section_span(rec, "BNAM", bnam_body.len());
+            decode_bnam(bnam_body, node_count)?
+        };
         Ok((vocab, RdfGraph::from_raw_parts(graph, blank_names)))
     }
+}
+
+/// A `store.section` span tagged with the section name and body size.
+/// Shared by the single-file and manifest traced loads.
+pub(crate) fn section_span<'a>(
+    rec: &'a Recorder,
+    section: &'static str,
+    bytes: usize,
+) -> SpanGuard<'a> {
+    let mut sp = rec.span("store.section");
+    sp.field("section", section);
+    sp.field("bytes", bytes);
+    sp
 }
 
 pub(crate) fn overflow() -> StoreError {

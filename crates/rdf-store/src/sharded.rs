@@ -33,16 +33,19 @@ use crate::container::{
 use crate::error::StoreError;
 use crate::graph_store::{
     decode_bnam, decode_dict_checked, decode_node, decode_trpl,
-    encode_global_sections, encode_trpl, StoreReader, TAG_BNAM, TAG_DICT,
-    TAG_NODE, TAG_TRPL,
+    encode_global_sections, encode_trpl, section_span, StoreReader,
+    TAG_BNAM, TAG_DICT, TAG_NODE, TAG_TRPL,
 };
 use crate::varint::{read_varint, read_varint_u32, write_varint};
 use rdf_model::{
     LabelId, LabelKind, NodeId, RdfGraph, ShardColumns,
     ShardColumnsSource, Triple, TripleGraph, Vocab,
 };
+use rdf_obs::Recorder;
 use rdf_par::{chunk_ranges, scoped_try_map, Threads};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Tag of the manifest's shard-directory section.
 pub const TAG_SHRD: [u8; 4] = *b"SHRD";
@@ -340,16 +343,37 @@ impl ShardedReader {
         &self,
         threads: Threads,
     ) -> Result<(ShardedInfo, Vocab, RdfGraph), StoreError> {
+        self.read_graph_with_info_traced(threads, &Recorder::disabled())
+    }
+
+    /// [`ShardedReader::read_graph_with_info`] with instrumentation:
+    /// emits a `store.open` span for the manifest parse, `store.section`
+    /// spans for the global sections, and one `shard.load` span per
+    /// shard file (index, worker, file bytes, CRC-check time). The
+    /// decoded graph is byte-identical to the untraced load and span
+    /// *counts* depend only on the shard count, never on `threads`.
+    pub fn read_graph_with_info_traced(
+        &self,
+        threads: Threads,
+        rec: &Recorder,
+    ) -> Result<(ShardedInfo, Vocab, RdfGraph), StoreError> {
+        let mut open = rec.span("store.open");
+        open.field("bytes", self.bytes.len());
         let c = Container::parse(&self.bytes)?;
+        drop(open);
         let version = c.header().version;
         let manifest = parse_manifest(&c)?;
 
-        let vocab = decode_dict_checked(c.section(TAG_DICT)?, None)?;
-        let (labels, kinds) = decode_node(
-            c.section(TAG_NODE)?,
-            &vocab,
-            Some(manifest.nodes),
-        )?;
+        let dict_body = c.section(TAG_DICT)?;
+        let vocab = {
+            let _sp = section_span(rec, "DICT", dict_body.len());
+            decode_dict_checked(dict_body, None)?
+        };
+        let node_body = c.section(TAG_NODE)?;
+        let (labels, kinds) = {
+            let _sp = section_span(rec, "NODE", node_body.len());
+            decode_node(node_body, &vocab, Some(manifest.nodes))?
+        };
         let node_count = labels.len();
 
         // One task per worker, each draining a contiguous range of the
@@ -360,12 +384,16 @@ impl ShardedReader {
         let ranges = chunk_ranges(manifest.shards.len(), workers);
         let entries = &manifest.shards;
         let per_task: Vec<Vec<(u64, Vec<Triple>)>> =
-            scoped_try_map(ranges, |_, range| {
+            scoped_try_map(ranges, |ti, range| {
                 range
                     .map(|k| -> Result<_, StoreError> {
-                        let bytes = self.read_shard_bytes(&entries[k])?;
-                        let run = parse_shard(&bytes, k, &entries[k])?;
-                        Ok((bytes.len() as u64, run))
+                        load_shard_traced(
+                            &self.dir,
+                            k,
+                            &entries[k],
+                            rec,
+                            Some(ti),
+                        )
                     })
                     .collect()
             })?;
@@ -382,7 +410,11 @@ impl ShardedReader {
                 manifest.triples
             )));
         }
-        let blank_names = decode_bnam(c.section(TAG_BNAM)?, node_count)?;
+        let bnam_body = c.section(TAG_BNAM)?;
+        let blank_names = {
+            let _sp = section_span(rec, "BNAM", bnam_body.len());
+            decode_bnam(bnam_body, node_count)?
+        };
         let info = ShardedInfo {
             version,
             manifest,
@@ -420,8 +452,35 @@ impl ShardedReader {
             vocab,
             labels,
             kinds,
+            recorder: Arc::new(Recorder::disabled()),
         })
     }
+}
+
+/// Read, CRC-check and decode one shard file, emitting a `shard.load`
+/// span (shard index, optional worker, file bytes, CRC-check time).
+/// With a disabled recorder this is exactly the untraced load.
+fn load_shard_traced(
+    dir: &Path,
+    k: usize,
+    entry: &ShardEntry,
+    rec: &Recorder,
+    worker: Option<usize>,
+) -> Result<(u64, Vec<Triple>), StoreError> {
+    let mut sp = rec.span("shard.load");
+    sp.field("shard", k);
+    if let Some(w) = worker {
+        sp.field("worker", w);
+    }
+    let bytes = read_shard_file(dir, entry)?;
+    sp.field("bytes", bytes.len());
+    let crc_start = sp.enabled().then(Instant::now);
+    check_shard_crc(&bytes, entry)?;
+    if let Some(start) = crc_start {
+        sp.field("crc_us", start.elapsed().as_micros() as u64);
+    }
+    let run = decode_shard(&bytes, k, entry)?;
+    Ok((bytes.len() as u64, run))
 }
 
 /// Read one shard file, mapping absence to the typed
@@ -490,9 +549,18 @@ pub struct StreamingStore {
     vocab: Vocab,
     labels: Vec<LabelId>,
     kinds: Vec<LabelKind>,
+    recorder: Arc<Recorder>,
 }
 
 impl StreamingStore {
+    /// Attach an instrumentation recorder: every subsequent
+    /// [`StreamingStore::load_shard`] emits a `shard.load` span (shard
+    /// index, file bytes, CRC-check time). Defaults to the disabled
+    /// recorder, which records nothing.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
+    }
+
     /// The parsed shard directory.
     pub fn manifest(&self) -> &Manifest {
         &self.manifest
@@ -528,8 +596,13 @@ impl ShardColumnsSource for StreamingStore {
 
     fn load_shard(&self, k: usize) -> Result<ShardColumns, StoreError> {
         let entry = &self.manifest.shards[k];
-        let bytes = read_shard_file(&self.dir, entry)?;
-        let run = parse_shard(&bytes, k, entry)?;
+        let (_, run) = load_shard_traced(
+            &self.dir,
+            k,
+            entry,
+            &self.recorder,
+            None,
+        )?;
         Ok(ShardColumns::from_sorted_triples(&run))
     }
 }
@@ -617,6 +690,17 @@ fn parse_shard(
     index: usize,
     entry: &ShardEntry,
 ) -> Result<Vec<Triple>, StoreError> {
+    check_shard_crc(bytes, entry)?;
+    decode_shard(bytes, index, entry)
+}
+
+/// Check a shard file's bytes against the whole-file CRC recorded in
+/// its manifest entry. Split from [`decode_shard`] so traced loads can
+/// time the checksum pass separately from the decode.
+fn check_shard_crc(
+    bytes: &[u8],
+    entry: &ShardEntry,
+) -> Result<(), StoreError> {
     let computed = crc32(bytes);
     if computed != entry.crc {
         return Err(StoreError::ShardChecksumMismatch {
@@ -625,6 +709,36 @@ fn parse_shard(
             computed,
         });
     }
+    Ok(())
+}
+
+/// Parse a CRC-validated shard container and decode its triple run.
+/// Any error from inside the container is wrapped in
+/// [`StoreError::InShard`] so it names the failing file — a bare
+/// section [`StoreError::ChecksumMismatch`] from one of N shards would
+/// otherwise leave the operator guessing which file is damaged.
+fn decode_shard(
+    bytes: &[u8],
+    index: usize,
+    entry: &ShardEntry,
+) -> Result<Vec<Triple>, StoreError> {
+    decode_shard_inner(bytes, index, entry).map_err(|e| match e {
+        // These already name the shard file; don't double-wrap.
+        e @ (StoreError::InShard { .. }
+        | StoreError::ShardChecksumMismatch { .. }
+        | StoreError::MissingShard { .. }) => e,
+        e => StoreError::InShard {
+            shard: entry.name.clone(),
+            source: Box::new(e),
+        },
+    })
+}
+
+fn decode_shard_inner(
+    bytes: &[u8],
+    index: usize,
+    entry: &ShardEntry,
+) -> Result<Vec<Triple>, StoreError> {
     let c = Container::parse(bytes)?;
     let header = *c.header();
     if header.kind != KIND_SHARD {
@@ -664,6 +778,22 @@ impl AnyReader {
         match self {
             AnyReader::Single(r) => r.read_graph(),
             AnyReader::Sharded(r) => r.read_graph(threads),
+        }
+    }
+
+    /// [`AnyReader::read_graph`] with instrumentation — dispatches to
+    /// the layout's traced load, so the trace carries `store.open`,
+    /// `store.section` and (for sharded stores) `shard.load` spans.
+    pub fn read_graph_traced(
+        &self,
+        threads: Threads,
+        rec: &Recorder,
+    ) -> Result<(Vocab, RdfGraph), StoreError> {
+        match self {
+            AnyReader::Single(r) => r.read_graph_traced(rec),
+            AnyReader::Sharded(r) => r
+                .read_graph_with_info_traced(threads, rec)
+                .map(|(_, v, g)| (v, g)),
         }
     }
 }
@@ -796,6 +926,64 @@ mod tests {
             open_any(&nt),
             Err(StoreError::BadMagic { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_decode_errors_name_the_failing_file() {
+        let (vocab, g) = sample();
+        // A valid container of the wrong kind, with a matching
+        // whole-file CRC: the failure happens *inside* the shard parse,
+        // which must wrap it with the file name.
+        let bytes = crate::graph_to_bytes(&vocab, &g).unwrap();
+        let entry = ShardEntry {
+            name: "v-shard-0.rdfb".into(),
+            triples: g.triple_count() as u64,
+            crc: crc32(&bytes),
+        };
+        match parse_shard(&bytes, 0, &entry) {
+            Err(StoreError::InShard { shard, source }) => {
+                assert_eq!(shard, "v-shard-0.rdfb");
+                assert!(matches!(
+                    *source,
+                    StoreError::WrongContentKind { .. }
+                ));
+            }
+            other => {
+                panic!("expected InShard(WrongContentKind), got {other:?}")
+            }
+        }
+        // A whole-file CRC mismatch already names the shard — it must
+        // stay the dedicated variant, not get double-wrapped.
+        let bad = ShardEntry {
+            crc: entry.crc ^ 1,
+            ..entry
+        };
+        assert!(matches!(
+            parse_shard(&bytes, 0, &bad),
+            Err(StoreError::ShardChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn traced_sharded_load_is_identical_and_counts_spans() {
+        let dir = tmp("traced");
+        let (vocab, g) = sample();
+        let manifest = dir.join("t.rdfm");
+        save_sharded(&manifest, &vocab, &g, 3).unwrap();
+        let reader = ShardedReader::open(&manifest).unwrap();
+        let (_, g1) = reader.read_graph(Threads::Fixed(2)).unwrap();
+
+        let rec =
+            Recorder::jsonl_writer(Box::new(std::io::sink()));
+        let (_, _, g2) = reader
+            .read_graph_with_info_traced(Threads::Fixed(2), &rec)
+            .unwrap();
+        assert_eq!(g1.graph().triples(), g2.graph().triples());
+        let report = rec.finish().unwrap().unwrap();
+        assert_eq!(report.span("shard.load").unwrap().count, 3);
+        assert_eq!(report.span("store.open").unwrap().count, 1);
+        assert_eq!(report.span("store.section").unwrap().count, 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

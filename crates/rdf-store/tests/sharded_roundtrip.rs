@@ -369,17 +369,24 @@ fn shard_count_disagreement_is_typed() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // Manifest self-consistent but disagreeing with the shard file's
-    // own embedded count.
+    // own embedded count. The failure is discovered *inside* the shard
+    // parse, so it arrives wrapped with the failing file's name.
     let (dir, manifest, _) = sample_sharded("count-shard");
     rewrite_manifest(&manifest, |_, entries, counts| {
         entries[0].1 += 1;
         counts[2] += 1;
     });
     match load(&manifest) {
-        Err(StoreError::Corrupt(msg)) => {
-            assert!(msg.contains("disagrees"), "got: {msg}")
+        Err(StoreError::InShard { shard, source }) => {
+            assert!(shard.contains("shard-0"), "got shard: {shard}");
+            match *source {
+                StoreError::Corrupt(ref msg) => {
+                    assert!(msg.contains("disagrees"), "got: {msg}")
+                }
+                ref other => panic!("expected Corrupt inside, got {other:?}"),
+            }
         }
-        other => panic!("expected Corrupt, got {other:?}"),
+        other => panic!("expected InShard(Corrupt), got {other:?}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

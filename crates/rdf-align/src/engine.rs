@@ -436,6 +436,24 @@ impl RefineEngine {
         let all = vec![true; g.node_count()];
         self.refine_fixpoint_mask(g, crate::refine::label_partition(g), &all)
     }
+
+    /// [`RefineEngine::bisimulation`] from bare columns: a per-node
+    /// label array plus a grouped-CSR view. The entry point for sources
+    /// that never materialise a [`TripleGraph`] — zero-copy store views
+    /// feed their borrowed columns here. Produces the same partition,
+    /// class count and round count as [`RefineEngine::bisimulation`] on
+    /// the equivalent graph.
+    pub fn bisimulation_columns(
+        &mut self,
+        labels: &[rdf_model::LabelId],
+        cols: &OutColumns<'_>,
+    ) -> RefineOutcome {
+        let all = vec![true; labels.len()];
+        let initial = crate::refine::label_partition_from(labels);
+        let (partition, rounds) =
+            self.refine_fixpoint_columns(cols, initial, &all);
+        RefineOutcome { partition, rounds }
+    }
 }
 
 impl Default for RefineEngine {

@@ -19,7 +19,7 @@ use rdf_align::pipeline::{
 use rdf_align::{RefineEngine, StreamingRefineEngine, Threads};
 use rdf_model::{ShardColumnsSource, Vocab};
 use rdf_obs::{Recorder, RunReport};
-use rdf_store::AnyReader;
+use rdf_store::{AnyReader, BorrowedStoreReader, Layout};
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
@@ -45,16 +45,20 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// `rdf import [--shards N] <input.nt> <output>` — stream-parse
-/// N-Triples into a dictionary-encoded store. Without `--shards` the
-/// output is one `.rdfb` file; with `--shards N` it is a `.rdfm`
-/// manifest plus N subject-hash-partitioned shard files next to it.
+/// `rdf import [--shards N] [--layout varint|fixed] <input.nt>
+/// <output>` — stream-parse N-Triples into a dictionary-encoded store.
+/// Without `--shards` the output is one `.rdfb` file; with `--shards N`
+/// it is a `.rdfm` manifest plus N subject-hash-partitioned shard files
+/// next to it. `layout` selects the section encoding: varint (the
+/// default, byte-identical to previous releases) or the fixed-width
+/// zero-copy layout.
 pub fn import(
     input: &Path,
     output: &Path,
     shards: Option<usize>,
+    layout: Layout,
 ) -> Result<String, CliError> {
-    import_traced(input, output, shards, &Recorder::disabled())
+    import_traced(input, output, shards, layout, &Recorder::disabled())
 }
 
 /// [`import`] with instrumentation: the streaming parse+write (or, for
@@ -65,6 +69,7 @@ pub fn import_traced(
     input: &Path,
     output: &Path,
     shards: Option<usize>,
+    layout: Layout,
     rec: &Recorder,
 ) -> Result<String, CliError> {
     let file = std::fs::File::open(input).map_err(|e| ctx(input, e))?;
@@ -76,9 +81,10 @@ pub fn import_traced(
                 std::fs::File::create(output).map_err(|e| ctx(output, e))?;
             let mut sp = rec.span("import.run");
             sp.field("bytes_in", in_bytes);
-            let (vocab, graph) = rdf_store::import_ntriples(
+            let (vocab, graph) = rdf_store::import_ntriples_layout(
                 reader,
                 std::io::BufWriter::new(out),
+                layout,
             )
             .map_err(|e| ctx(input, e))?;
             sp.field("nodes", graph.node_count());
@@ -109,8 +115,10 @@ pub fn import_traced(
                 let mut sp = rec.span("import.write");
                 sp.field("shards", n);
                 sp.field("triples", graph.triple_count());
-                rdf_store::save_sharded(output, &vocab, &graph, n)
-                    .map_err(|e| ctx(output, e))?
+                rdf_store::save_sharded_layout(
+                    output, &vocab, &graph, n, layout,
+                )
+                .map_err(|e| ctx(output, e))?
             };
             let out_bytes: u64 = paths
                 .iter()
@@ -215,7 +223,16 @@ pub fn info_traced(
                 info.file_bytes,
             );
             for (tag, bytes) in &info.sections {
-                out.push_str(&format!("  section {tag}  {bytes} bytes\n"));
+                out.push_str(&format!(
+                    "  section {tag}  {bytes} bytes  [{}]\n",
+                    section_encoding(info.layout, tag),
+                ));
+            }
+            if info.header.kind == rdf_store::KIND_GRAPH {
+                out.push_str(&format!(
+                    "  layout {}, load mode {}\n",
+                    info.layout, info.mode,
+                ));
             }
             if let Some(threads) = bisim {
                 if streaming {
@@ -226,12 +243,25 @@ pub fn info_traced(
                     ));
                 }
                 if info.header.kind == rdf_store::KIND_GRAPH {
-                    // Decode from the reader's already-loaded bytes rather
-                    // than re-reading the file from disk.
-                    let (_, graph) = reader
-                        .read_graph_traced(rec)
+                    // Zero-copy path: serve the id columns as a view of
+                    // the (mapped) store buffer — fixed-layout stores
+                    // never materialise owned triple vectors here.
+                    let breader = BorrowedStoreReader::open(input)
                         .map_err(|e| ctx(input, e))?;
-                    out.push_str(&bisim_summary(&graph, threads, rec));
+                    let (_, view) = breader
+                        .read_view_traced(rec)
+                        .map_err(|e| ctx(input, e))?;
+                    let cols = view.out_columns();
+                    let mut engine =
+                        RefineEngine::with_recorder(threads, Arc::clone(rec));
+                    let outcome =
+                        engine.bisimulation_columns(view.labels(), &cols);
+                    out.push_str(&bisim_line(
+                        outcome.partition.num_colors(),
+                        view.node_count(),
+                        outcome.rounds,
+                        engine.threads(),
+                    ));
                 } else {
                     out.push_str(
                         "  bisimulation: n/a (not a graph store)\n",
@@ -270,6 +300,10 @@ pub fn info_traced(
                 m.triples,
                 m.seed,
             );
+            out.push_str(&format!(
+                "  layout {}\n",
+                Layout::from_version(info.version).unwrap_or_default(),
+            ));
             for (k, (entry, bytes)) in
                 m.shards.iter().zip(&info.shard_bytes).enumerate()
             {
@@ -307,6 +341,16 @@ pub fn info_traced(
             }
             Ok(out)
         }
+    }
+}
+
+/// The encoding variant a section body uses under a given layout: the
+/// fixed-width (v2) layout re-encodes only the id columns (`NODE`,
+/// `TRPL`); every other body stays varint (8-padded).
+fn section_encoding(layout: Layout, tag: &str) -> &'static str {
+    match (layout, tag) {
+        (Layout::Fixed, "NODE" | "TRPL") => "fixed",
+        _ => "varint",
     }
 }
 

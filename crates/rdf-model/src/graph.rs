@@ -12,7 +12,12 @@ use crate::label::{LabelId, LabelKind, Vocab};
 use std::fmt;
 
 /// Dense node identifier, local to one [`TripleGraph`].
+///
+/// `repr(transparent)` over `u32` is a guarantee, not an accident: the
+/// zero-copy store readers ([`crate::view`]) reinterpret aligned
+/// little-endian byte columns as `&[NodeId]` without a decode pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -144,7 +149,7 @@ impl TripleGraph {
     /// per graph and reuse them across rounds and fixpoint runs.
     pub fn out_columns(&self) -> OutColumns<'_> {
         OutColumns {
-            offsets: &self.out_index,
+            offsets: std::borrow::Cow::Borrowed(&self.out_index),
             preds: self.out_pairs.iter().map(|&(p, _)| p).collect(),
             objs: self.out_pairs.iter().map(|&(_, o)| o).collect(),
         }
@@ -299,14 +304,48 @@ impl TripleGraph {
 /// graph's pair storage): `(pred, obj)` column slices with per-node
 /// offsets. Edge `j` of node `n` is `(preds()[j], objs()[j])` for `j`
 /// in `range(n)`, in the same sorted order as [`TripleGraph::out`].
+///
+/// Every column is a [`Cow`](std::borrow::Cow): a view built from a
+/// resident graph owns
+/// its copies, while a view served by the zero-copy store path
+/// ([`crate::view::TripleGraphView::out_columns`]) borrows columns
+/// straight from the store buffer. Consumers (the refinement engine's
+/// signature phase) hoist the slices once per round, so the `Cow`
+/// indirection never appears in a hot loop.
 #[derive(Debug, Clone)]
 pub struct OutColumns<'g> {
-    offsets: &'g [u32],
-    preds: Vec<NodeId>,
-    objs: Vec<NodeId>,
+    offsets: std::borrow::Cow<'g, [u32]>,
+    preds: std::borrow::Cow<'g, [NodeId]>,
+    objs: std::borrow::Cow<'g, [NodeId]>,
 }
 
-impl OutColumns<'_> {
+impl<'g> OutColumns<'g> {
+    /// Assemble a view from raw columns — the zero-copy entry point.
+    ///
+    /// Validates the CSR shape once (`O(nodes + edges)` comparisons,
+    /// no allocation): offsets must be non-empty and non-decreasing,
+    /// and the final offset must equal both column lengths. Returns
+    /// `None` on any violation; a malformed view would otherwise
+    /// surface as an index panic inside a refinement worker.
+    pub fn from_parts(
+        offsets: std::borrow::Cow<'g, [u32]>,
+        preds: std::borrow::Cow<'g, [NodeId]>,
+        objs: std::borrow::Cow<'g, [NodeId]>,
+    ) -> Option<OutColumns<'g>> {
+        let last = *offsets.last()?;
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if preds.len() != last as usize || objs.len() != last as usize {
+            return None;
+        }
+        Some(OutColumns {
+            offsets,
+            preds,
+            objs,
+        })
+    }
+
     /// The edge-index range of node `n`'s outbound edges.
     #[inline]
     pub fn range(&self, n: NodeId) -> std::ops::Range<usize> {
@@ -329,7 +368,7 @@ impl OutColumns<'_> {
     /// The per-node offsets (length `node_count + 1`).
     #[inline]
     pub fn offsets(&self) -> &[u32] {
-        self.offsets
+        &self.offsets
     }
 
     /// Total number of edges in the view.
@@ -341,6 +380,16 @@ impl OutColumns<'_> {
     /// Whether the view holds no edges.
     pub fn is_empty(&self) -> bool {
         self.preds.is_empty()
+    }
+
+    /// Whether every column (offsets, predicates, objects) borrows from
+    /// an external buffer rather than owning a copy — true only on the
+    /// zero-copy store path over width-4 fixed columns.
+    pub fn is_fully_borrowed(&self) -> bool {
+        use std::borrow::Cow;
+        matches!(self.offsets, Cow::Borrowed(_))
+            && matches!(self.preds, Cow::Borrowed(_))
+            && matches!(self.objs, Cow::Borrowed(_))
     }
 }
 

@@ -24,7 +24,12 @@ pub enum LabelKind {
 
 /// Dense identifier of an interned label. `LabelId::BLANK` (= 0) is the
 /// shared blank label; all other ids denote URIs or literals.
+///
+/// `repr(transparent)` over `u32` is a guarantee, not an accident: the
+/// zero-copy store readers ([`crate::view`]) reinterpret aligned
+/// little-endian byte columns as `&[LabelId]` without a decode pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct LabelId(pub u32);
 
 impl LabelId {

@@ -40,9 +40,14 @@ pub mod shard;
 pub mod stats;
 pub mod truth;
 pub mod union;
+pub mod view;
 
 pub use graph::{
     GraphBuilder, NodeId, OutColumns, RawPartsError, Triple, TripleGraph,
+};
+pub use view::{
+    label_ids_from_le_bytes, node_ids_from_le_bytes, u32s_from_le_bytes,
+    TripleGraphView, ViewError,
 };
 pub use shard::{GraphShards, ShardColumns, ShardColumnsSource};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

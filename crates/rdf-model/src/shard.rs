@@ -56,10 +56,22 @@ impl ShardColumns {
     /// detected here; it surfaces as a typed overlap error in the
     /// streaming consumer, which sees the subject twice.
     pub fn from_sorted_triples(triples: &[Triple]) -> ShardColumns {
+        Self::from_sorted_iter(triples.iter().copied())
+    }
+
+    /// Group a streamed shard run into columns without requiring an
+    /// intermediate `Vec<Triple>` — the zero-copy fixed-width loader
+    /// feeds decoded columns straight through this. Same grouped-by-
+    /// ascending-subject contract as
+    /// [`ShardColumns::from_sorted_triples`].
+    pub fn from_sorted_iter(
+        triples: impl Iterator<Item = Triple>,
+    ) -> ShardColumns {
+        let (lo, _) = triples.size_hint();
         let mut subjects: Vec<NodeId> = Vec::new();
         let mut offsets: Vec<u32> = Vec::new();
-        let mut preds: Vec<NodeId> = Vec::with_capacity(triples.len());
-        let mut objs: Vec<NodeId> = Vec::with_capacity(triples.len());
+        let mut preds: Vec<NodeId> = Vec::with_capacity(lo);
+        let mut objs: Vec<NodeId> = Vec::with_capacity(lo);
         let mut max_node: Option<NodeId> = None;
         for t in triples {
             if subjects.last() != Some(&t.s) {

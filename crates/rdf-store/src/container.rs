@@ -11,15 +11,85 @@
 //! Readers verify every checksum before any payload is interpreted, so a
 //! flipped bit or a truncated download fails with a typed error instead
 //! of materialising a wrong graph.
+//!
+//! The header version field doubles as the **layout flag**: version 1
+//! containers carry varint section bodies, version 2 containers carry
+//! the fixed-width bodies of the zero-copy load path ([`Layout`],
+//! `docs/FORMAT.md` §7). Layout is always resolved from the header,
+//! never from a file extension.
 
 use crate::checksum::crc32;
 use crate::error::StoreError;
+use std::borrow::Cow;
 
 /// The four magic bytes opening every container.
 pub const MAGIC: [u8; 4] = *b"RDFB";
 
-/// Current (highest writable/readable) format version.
+/// Format version of the varint layout (layout v1) — the default
+/// writer output, byte-identical to every earlier release.
 pub const FORMAT_VERSION: u16 = 1;
+
+/// Format version of the fixed-width layout (layout v2): `NODE`/`TRPL`
+/// bodies are padded little-endian fixed-width arrays and every
+/// section payload is zero-padded to a multiple of 8 bytes, so readers
+/// can serve typed slices straight from the file image
+/// (`docs/FORMAT.md` §7).
+pub const FORMAT_VERSION_FIXED: u16 = 2;
+
+/// Highest container version this build reads. The version field *is*
+/// the layout flag: 1 = varint bodies, 2 = fixed-width bodies; readers
+/// resolve layout from it, never from a file extension.
+pub const MAX_FORMAT_VERSION: u16 = 2;
+
+/// Section body layout of a container, as selected by the header
+/// version field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Layout v1: varint/delta-coded section bodies (smallest files).
+    #[default]
+    Varint,
+    /// Layout v2: padded fixed-width little-endian section bodies
+    /// (zero-copy or widen-only loads).
+    Fixed,
+}
+
+impl Layout {
+    /// The container version a writer stamps for this layout.
+    pub fn version(self) -> u16 {
+        match self {
+            Layout::Varint => FORMAT_VERSION,
+            Layout::Fixed => FORMAT_VERSION_FIXED,
+        }
+    }
+
+    /// Resolve the layout a header version selects, or `None` for a
+    /// version this build does not know.
+    pub fn from_version(version: u16) -> Option<Layout> {
+        match version {
+            FORMAT_VERSION => Some(Layout::Varint),
+            FORMAT_VERSION_FIXED => Some(Layout::Fixed),
+            _ => None,
+        }
+    }
+
+    /// Parse the CLI spelling (`"varint"` / `"fixed"`).
+    pub fn from_cli(name: &str) -> Option<Layout> {
+        match name {
+            "varint" => Some(Layout::Varint),
+            "fixed" => Some(Layout::Fixed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Layout::Varint => "varint",
+            Layout::Fixed => "fixed",
+        })
+    }
+}
 
 /// Content kind: a single dictionary-encoded triple graph.
 pub const KIND_GRAPH: u8 = 1;
@@ -54,28 +124,59 @@ pub struct Header {
     pub counts: [u64; 3],
 }
 
-/// Accumulates tagged sections, then writes the whole container.
-#[derive(Debug, Default)]
-pub struct ContainerWriter {
-    sections: Vec<([u8; 4], Vec<u8>)>,
+impl Header {
+    /// The section body layout the version field selects. Infallible
+    /// for parsed headers: [`Container::parse_header`] already
+    /// rejected unknown versions.
+    pub fn layout(&self) -> Layout {
+        Layout::from_version(self.version).unwrap_or_default()
+    }
 }
 
-impl ContainerWriter {
+/// Accumulates tagged sections, then writes the whole container.
+///
+/// Payloads are [`Cow`]s so hot writers (the sharded import loop) can
+/// hand the same scratch buffer to successive sections without a fresh
+/// allocation per section.
+#[derive(Debug, Default)]
+pub struct ContainerWriter<'a> {
+    sections: Vec<([u8; 4], Cow<'a, [u8]>)>,
+}
+
+impl<'a> ContainerWriter<'a> {
     /// Empty writer.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Append a section; order is preserved in the file.
-    pub fn section(&mut self, tag: [u8; 4], payload: Vec<u8>) -> &mut Self {
-        self.sections.push((tag, payload));
+    /// Append a section; order is preserved in the file. Accepts an
+    /// owned `Vec<u8>` or a borrowed `&[u8]` (scratch reuse).
+    pub fn section(
+        &mut self,
+        tag: [u8; 4],
+        payload: impl Into<Cow<'a, [u8]>>,
+    ) -> &mut Self {
+        self.sections.push((tag, payload.into()));
         self
     }
 
-    /// Serialise header and sections into `out`.
+    /// Serialise header and sections into `out` with the default
+    /// (layout v1) version stamp.
     pub fn finish(
         self,
         out: &mut impl std::io::Write,
+        kind: u8,
+        counts: [u64; 3],
+    ) -> Result<(), StoreError> {
+        self.finish_versioned(out, FORMAT_VERSION, kind, counts)
+    }
+
+    /// Serialise header and sections into `out`, stamping an explicit
+    /// container version (the layout flag — see [`Layout::version`]).
+    pub fn finish_versioned(
+        self,
+        out: &mut impl std::io::Write,
+        version: u16,
         kind: u8,
         counts: [u64; 3],
     ) -> Result<(), StoreError> {
@@ -83,7 +184,7 @@ impl ContainerWriter {
             StoreError::Corrupt("more than 255 sections".into())
         })?;
         out.write_all(&MAGIC)?;
-        out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        out.write_all(&version.to_le_bytes())?;
         out.write_all(&[kind, n])?;
         for c in counts {
             out.write_all(&c.to_le_bytes())?;
@@ -171,10 +272,10 @@ impl<'a> Container<'a> {
             what: "header",
         })?;
         let version = u16::from_le_bytes(head[4..6].try_into().unwrap());
-        if version > FORMAT_VERSION {
+        if version == 0 || version > MAX_FORMAT_VERSION {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
-                supported: FORMAT_VERSION,
+                supported: MAX_FORMAT_VERSION,
             });
         }
         let kind = head[6];
@@ -293,6 +394,51 @@ mod tests {
                 "cut at {cut}: unexpected {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn versioned_finish_round_trips_layout() {
+        let mut w = ContainerWriter::new();
+        let scratch = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        w.section(*b"AAAA", scratch.as_slice()); // borrowed payload
+        let mut out = Vec::new();
+        w.finish_versioned(&mut out, FORMAT_VERSION_FIXED, KIND_GRAPH, [8, 0, 0])
+            .unwrap();
+        let c = Container::parse(&out).unwrap();
+        assert_eq!(c.header().version, FORMAT_VERSION_FIXED);
+        assert_eq!(c.header().layout(), Layout::Fixed);
+        assert_eq!(c.section(*b"AAAA").unwrap(), scratch.as_slice());
+        // Default finish still stamps v1/varint.
+        let v1 = sample();
+        assert_eq!(
+            Container::parse_header(&v1).unwrap().layout(),
+            Layout::Varint
+        );
+    }
+
+    #[test]
+    fn layout_maps_versions_and_cli_names() {
+        assert_eq!(Layout::Varint.version(), FORMAT_VERSION);
+        assert_eq!(Layout::Fixed.version(), FORMAT_VERSION_FIXED);
+        assert_eq!(Layout::from_version(1), Some(Layout::Varint));
+        assert_eq!(Layout::from_version(2), Some(Layout::Fixed));
+        assert_eq!(Layout::from_version(3), None);
+        assert_eq!(Layout::from_cli("varint"), Some(Layout::Varint));
+        assert_eq!(Layout::from_cli("fixed"), Some(Layout::Fixed));
+        assert_eq!(Layout::from_cli("FIXED"), None);
+        assert_eq!(Layout::Varint.to_string(), "varint");
+        assert_eq!(Layout::Fixed.to_string(), "fixed");
+    }
+
+    #[test]
+    fn version_zero_rejected() {
+        let mut bytes = sample();
+        bytes[4] = 0;
+        bytes[5] = 0;
+        assert!(matches!(
+            Container::parse(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 0, .. })
+        ));
     }
 
     #[test]

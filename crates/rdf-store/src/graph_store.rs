@@ -20,10 +20,15 @@
 //! layouts — byte-identical stitching falls out by construction.
 
 use crate::container::{
-    Container, ContainerWriter, Header, KIND_GRAPH, SECTION_OVERHEAD,
+    Container, ContainerWriter, Header, Layout, KIND_GRAPH, SECTION_OVERHEAD,
 };
 use crate::dict::{read_dict, read_string, write_dict};
 use crate::error::StoreError;
+use crate::borrowed::LoadMode;
+use crate::fixed::{
+    check_pad8, decode_node_fixed, decode_trpl_fixed, encode_node_fixed_into,
+    encode_trpl_fixed_into, pad8, parse_fixed_body,
+};
 use crate::varint::{
     read_varint_u32, read_varint_usize, write_varint,
 };
@@ -58,6 +63,7 @@ pub(crate) struct GlobalSections {
 pub(crate) fn encode_global_sections(
     vocab: &Vocab,
     graph: &RdfGraph,
+    layout: Layout,
 ) -> Result<GlobalSections, StoreError> {
     let g = graph.graph();
 
@@ -76,9 +82,21 @@ pub(crate) fn encode_global_sections(
     write_dict(&mut dict, vocab, used[1..].iter().copied())?;
 
     let mut node = Vec::new();
-    write_varint(&mut node, g.node_count() as u64);
-    for &label in g.labels_raw() {
-        write_varint(&mut node, u64::from(dense[label.index()]));
+    match layout {
+        Layout::Varint => {
+            write_varint(&mut node, g.node_count() as u64);
+            for &label in g.labels_raw() {
+                write_varint(&mut node, u64::from(dense[label.index()]));
+            }
+        }
+        Layout::Fixed => {
+            let remapped: Vec<LabelId> = g
+                .labels_raw()
+                .iter()
+                .map(|l| LabelId(dense[l.index()]))
+                .collect();
+            encode_node_fixed_into(&mut node, &remapped);
+        }
     }
 
     let mut names: Vec<(NodeId, &str)> = graph
@@ -96,6 +114,11 @@ pub(crate) fn encode_global_sections(
         write_varint(&mut bnam, name.len() as u64);
         bnam.extend_from_slice(name.as_bytes());
     }
+    if layout == Layout::Fixed {
+        // Layout v2's universal rule: every payload is padded to 8.
+        pad8(&mut dict);
+        pad8(&mut bnam);
+    }
 
     Ok(GlobalSections {
         dict,
@@ -105,12 +128,23 @@ pub(crate) fn encode_global_sections(
     })
 }
 
-/// Encode a `TRPL` body: varint count, then varint-deltas over the
-/// `(s, p, o)` sequence. The input must be sorted ascending (as graph
+/// Encode a `TRPL` body into `out` (cleared first — hot writers hand
+/// the same scratch buffer to every call instead of allocating a fresh
+/// `Vec` per section). Varint layout: varint count, then varint-deltas
+/// over the `(s, p, o)` sequence; fixed layout: three padded columns
+/// ([`crate::fixed`]). The input must be sorted ascending (as graph
 /// triple lists and their subject-partitioned slices always are).
-pub(crate) fn encode_trpl(triples: &[Triple]) -> Vec<u8> {
-    let mut trpl = Vec::new();
-    write_varint(&mut trpl, triples.len() as u64);
+pub(crate) fn encode_trpl_into(
+    out: &mut Vec<u8>,
+    triples: &[Triple],
+    layout: Layout,
+) {
+    if layout == Layout::Fixed {
+        encode_trpl_fixed_into(out, triples);
+        return;
+    }
+    out.clear();
+    write_varint(out, triples.len() as u64);
     let (mut prev_s, mut prev_p, mut prev_o) = (0u32, 0u32, 0u32);
     for t in triples {
         let ds = t.s.0 - prev_s;
@@ -123,21 +157,48 @@ pub(crate) fn encode_trpl(triples: &[Triple]) -> Vec<u8> {
             prev_o = 0;
         }
         let dobj = t.o.0 - prev_o;
-        write_varint(&mut trpl, u64::from(ds));
-        write_varint(&mut trpl, u64::from(dp));
-        write_varint(&mut trpl, u64::from(dobj));
+        write_varint(out, u64::from(ds));
+        write_varint(out, u64::from(dp));
+        write_varint(out, u64::from(dobj));
         (prev_s, prev_p, prev_o) = (t.s.0, t.p.0, t.o.0);
     }
-    trpl
 }
 
-/// Decode a `NODE` body into per-node labels + kinds against `vocab`.
-/// With `expected`, the embedded node count must match it exactly.
+/// Bounds-check store label ids against the decoded dictionary and
+/// derive the per-node kind array. Shared by the varint and fixed
+/// `NODE` decoders and the borrowed view path.
+pub(crate) fn kinds_for_labels(
+    labels: &[LabelId],
+    vocab: &Vocab,
+) -> Result<Vec<LabelKind>, StoreError> {
+    let mut kinds = Vec::with_capacity(labels.len());
+    for &label in labels {
+        if label.index() >= vocab.len() {
+            return Err(StoreError::Corrupt(format!(
+                "node label id {} beyond dictionary of {}",
+                label.0,
+                vocab.len()
+            )));
+        }
+        kinds.push(vocab.kind(label));
+    }
+    Ok(kinds)
+}
+
+/// Decode a `NODE` body into per-node labels + kinds against `vocab`,
+/// dispatching on the container layout. With `expected`, the embedded
+/// node count must match it exactly.
 pub(crate) fn decode_node(
     node: &[u8],
     vocab: &Vocab,
     expected: Option<u64>,
+    layout: Layout,
 ) -> Result<(Vec<LabelId>, Vec<LabelKind>), StoreError> {
+    if layout == Layout::Fixed {
+        let labels = decode_node_fixed(node, expected)?;
+        let kinds = kinds_for_labels(&labels, vocab)?;
+        return Ok((labels, kinds));
+    }
     let mut pos = 0usize;
     let node_count = read_varint_usize(node, &mut pos)?;
     if let Some(exp) = expected {
@@ -167,12 +228,18 @@ pub(crate) fn decode_node(
     Ok((labels, node_kinds))
 }
 
-/// Decode a `TRPL` body (delta decode mirrors the writer exactly). With
+/// Decode a `TRPL` body into owned triples, dispatching on the
+/// container layout (varint delta decode mirrors the writer exactly;
+/// the fixed path widens columns with zero varint work). With
 /// `expected`, the embedded triple count must match it exactly.
 pub(crate) fn decode_trpl(
     trpl: &[u8],
     expected: Option<u64>,
+    layout: Layout,
 ) -> Result<Vec<Triple>, StoreError> {
+    if layout == Layout::Fixed {
+        return decode_trpl_fixed(trpl, expected);
+    }
     let mut pos = 0usize;
     let triple_count = read_varint_usize(trpl, &mut pos)?;
     if let Some(exp) = expected {
@@ -210,6 +277,7 @@ pub(crate) fn decode_trpl(
 pub(crate) fn decode_bnam(
     bnam: &[u8],
     node_count: usize,
+    layout: Layout,
 ) -> Result<FxHashMap<NodeId, String>, StoreError> {
     let mut pos = 0usize;
     let name_count = read_varint_usize(bnam, &mut pos)?;
@@ -231,17 +299,26 @@ pub(crate) fn decode_bnam(
         let name = read_string(bnam, &mut pos, "blank-node name")?;
         blank_names.insert(NodeId(prev), name);
     }
+    if layout == Layout::Fixed {
+        check_pad8(bnam, pos, "BNAM section")?;
+    }
     Ok(blank_names)
 }
 
 /// Decode a `DICT` body into a fresh vocabulary. With `expected`, the
-/// dictionary entry count must match it exactly.
+/// dictionary entry count must match it exactly. In the fixed layout
+/// the body keeps its varint encoding but gains the universal pad-to-8
+/// tail, which is verified here.
 pub(crate) fn decode_dict_checked(
     dict: &[u8],
     expected: Option<u64>,
+    layout: Layout,
 ) -> Result<Vocab, StoreError> {
     let mut pos = 0usize;
     let vocab = read_dict(dict, &mut pos)?;
+    if layout == Layout::Fixed {
+        check_pad8(dict, pos, "DICT section")?;
+    }
     if let Some(exp) = expected {
         if vocab.len() as u64 != exp {
             return Err(StoreError::Corrupt(format!(
@@ -265,16 +342,29 @@ impl<W: Write> StoreWriter<W> {
         StoreWriter { out }
     }
 
-    /// Serialise one graph (with the vocabulary its labels live in) and
-    /// return the sink.
+    /// Serialise one graph (with the vocabulary its labels live in) in
+    /// the default varint layout and return the sink. Byte-identical to
+    /// every earlier release.
     pub fn write_graph(
-        mut self,
+        self,
         vocab: &Vocab,
         graph: &RdfGraph,
     ) -> Result<W, StoreError> {
+        self.write_graph_layout(vocab, graph, Layout::Varint)
+    }
+
+    /// Serialise one graph in an explicit section layout
+    /// ([`Layout::Varint`] or [`Layout::Fixed`]).
+    pub fn write_graph_layout(
+        mut self,
+        vocab: &Vocab,
+        graph: &RdfGraph,
+        layout: Layout,
+    ) -> Result<W, StoreError> {
         let g = graph.graph();
-        let global = encode_global_sections(vocab, graph)?;
-        let trpl = encode_trpl(g.triples());
+        let global = encode_global_sections(vocab, graph, layout)?;
+        let mut trpl = Vec::new();
+        encode_trpl_into(&mut trpl, g.triples(), layout);
 
         let counts = [
             global.dict_count,
@@ -286,7 +376,7 @@ impl<W: Write> StoreWriter<W> {
             .section(TAG_NODE, global.node)
             .section(TAG_TRPL, trpl)
             .section(TAG_BNAM, global.bnam);
-        w.finish(&mut self.out, KIND_GRAPH, counts)?;
+        w.finish_versioned(&mut self.out, layout.version(), KIND_GRAPH, counts)?;
         self.out.flush()?;
         Ok(self.out)
     }
@@ -324,6 +414,13 @@ pub struct StoreReader {
 pub struct StoreInfo {
     /// Parsed fixed header.
     pub header: Header,
+    /// Section body layout the header version selects.
+    pub layout: Layout,
+    /// The [`LoadMode`] a borrowed view of this container would use for
+    /// its id columns: `decode` for varint stores, `borrow`/`widen` for
+    /// fixed stores depending on the `TRPL` column width (meaningful
+    /// for graph-bearing kinds only).
+    pub mode: LoadMode,
     /// Total file size in bytes.
     pub file_bytes: usize,
     /// `(tag, payload bytes)` per section, in file order. Present only
@@ -348,8 +445,27 @@ impl StoreReader {
     /// summarise it. Works for any content kind.
     pub fn info(&self) -> Result<StoreInfo, StoreError> {
         let c = Container::parse(&self.bytes)?;
+        let layout = c.header().layout();
+        let mode = match layout {
+            Layout::Varint => LoadMode::Decode,
+            Layout::Fixed => {
+                let width = c.section(TAG_TRPL).ok().and_then(|b| {
+                    parse_fixed_body(b, 3, None, "fixed TRPL section")
+                        .ok()
+                        .map(|fb| fb.width)
+                });
+                match width {
+                    Some(4) if cfg!(target_endian = "little") => {
+                        LoadMode::Borrow
+                    }
+                    _ => LoadMode::Widen,
+                }
+            }
+        };
         Ok(StoreInfo {
             header: *c.header(),
+            layout,
+            mode,
             file_bytes: self.bytes.len(),
             sections: c
                 .sections()
@@ -387,6 +503,8 @@ impl StoreReader {
         let mut open = rec.span("store.open");
         open.field("bytes", self.bytes.len());
         let c = Container::parse(&self.bytes)?;
+        let layout = c.header().layout();
+        open.field("layout", layout.to_string());
         drop(open);
         let header = *c.header();
         if header.kind != KIND_GRAPH {
@@ -398,19 +516,19 @@ impl StoreReader {
 
         let dict_body = c.section(TAG_DICT)?;
         let vocab = {
-            let _sp = section_span(rec, "DICT", dict_body.len());
-            decode_dict_checked(dict_body, Some(header.counts[0]))?
+            let _sp = section_span(rec, "DICT", dict_body.len(), layout);
+            decode_dict_checked(dict_body, Some(header.counts[0]), layout)?
         };
         let node_body = c.section(TAG_NODE)?;
         let (labels, node_kinds) = {
-            let _sp = section_span(rec, "NODE", node_body.len());
-            decode_node(node_body, &vocab, Some(header.counts[1]))?
+            let _sp = section_span(rec, "NODE", node_body.len(), layout);
+            decode_node(node_body, &vocab, Some(header.counts[1]), layout)?
         };
         let node_count = labels.len();
         let trpl_body = c.section(TAG_TRPL)?;
         let triples = {
-            let _sp = section_span(rec, "TRPL", trpl_body.len());
-            decode_trpl(trpl_body, Some(header.counts[2]))?
+            let _sp = section_span(rec, "TRPL", trpl_body.len(), layout);
+            decode_trpl(trpl_body, Some(header.counts[2]), layout)?
         };
         let triple_count = triples.len();
         let graph = TripleGraph::from_raw_parts(labels, node_kinds, triples)
@@ -422,23 +540,26 @@ impl StoreReader {
         }
         let bnam_body = c.section(TAG_BNAM)?;
         let blank_names = {
-            let _sp = section_span(rec, "BNAM", bnam_body.len());
-            decode_bnam(bnam_body, node_count)?
+            let _sp = section_span(rec, "BNAM", bnam_body.len(), layout);
+            decode_bnam(bnam_body, node_count, layout)?
         };
         Ok((vocab, RdfGraph::from_raw_parts(graph, blank_names)))
     }
 }
 
-/// A `store.section` span tagged with the section name and body size.
-/// Shared by the single-file and manifest traced loads.
+/// A `store.section` span tagged with the section name, body size and
+/// container layout. Shared by the single-file and manifest traced
+/// loads.
 pub(crate) fn section_span<'a>(
     rec: &'a Recorder,
     section: &'static str,
     bytes: usize,
+    layout: Layout,
 ) -> SpanGuard<'a> {
     let mut sp = rec.span("store.section");
     sp.field("section", section);
     sp.field("bytes", bytes);
+    sp.field("layout", layout.to_string());
     sp
 }
 
@@ -446,14 +567,25 @@ pub(crate) fn overflow() -> StoreError {
     StoreError::Corrupt("id delta overflows u32".into())
 }
 
-/// Save a graph to a `.rdfb` file.
+/// Save a graph to a `.rdfb` file (varint layout).
 pub fn save_graph(
     path: impl AsRef<Path>,
     vocab: &Vocab,
     graph: &RdfGraph,
 ) -> Result<(), StoreError> {
+    save_graph_layout(path, vocab, graph, Layout::Varint)
+}
+
+/// Save a graph to a `.rdfb` file in an explicit section layout.
+pub fn save_graph_layout(
+    path: impl AsRef<Path>,
+    vocab: &Vocab,
+    graph: &RdfGraph,
+    layout: Layout,
+) -> Result<(), StoreError> {
     let file = std::fs::File::create(path)?;
-    StoreWriter::new(std::io::BufWriter::new(file)).write_graph(vocab, graph)?;
+    StoreWriter::new(std::io::BufWriter::new(file))
+        .write_graph_layout(vocab, graph, layout)?;
     Ok(())
 }
 
@@ -464,10 +596,20 @@ pub fn load_graph(
     StoreReader::open(path)?.read_graph()
 }
 
-/// Serialise a graph container into a byte vector.
+/// Serialise a graph container into a byte vector (varint layout).
 pub fn graph_to_bytes(
     vocab: &Vocab,
     graph: &RdfGraph,
 ) -> Result<Vec<u8>, StoreError> {
     StoreWriter::new(Vec::new()).write_graph(vocab, graph)
+}
+
+/// Serialise a graph container into a byte vector in an explicit
+/// section layout.
+pub fn graph_to_bytes_layout(
+    vocab: &Vocab,
+    graph: &RdfGraph,
+    layout: Layout,
+) -> Result<Vec<u8>, StoreError> {
+    StoreWriter::new(Vec::new()).write_graph_layout(vocab, graph, layout)
 }

@@ -47,27 +47,33 @@
 
 #![deny(missing_docs)]
 
+pub mod borrowed;
 pub mod checksum;
 pub mod container;
 pub mod dict;
 pub mod error;
+pub mod fixed;
 pub mod graph_store;
 pub mod import;
+pub mod mmap;
 pub mod sharded;
 pub mod varint;
 
+pub use borrowed::{BorrowedStoreReader, LoadMode};
 pub use container::{
-    Container, ContainerWriter, Header, FORMAT_VERSION, KIND_ARCHIVE,
-    KIND_GRAPH, KIND_MANIFEST, KIND_SHARD, MAGIC,
+    Container, ContainerWriter, Header, Layout, FORMAT_VERSION,
+    FORMAT_VERSION_FIXED, KIND_ARCHIVE, KIND_GRAPH, KIND_MANIFEST,
+    KIND_SHARD, MAGIC, MAX_FORMAT_VERSION,
 };
 pub use error::StoreError;
 pub use graph_store::{
-    graph_to_bytes, load_graph, save_graph, StoreInfo, StoreReader,
-    StoreWriter,
+    graph_to_bytes, graph_to_bytes_layout, load_graph, save_graph,
+    save_graph_layout, StoreInfo, StoreReader, StoreWriter,
 };
-pub use import::{import_ntriples, ImportError};
+pub use import::{import_ntriples, import_ntriples_layout, ImportError};
+pub use mmap::StoreBuf;
 pub use sharded::{
-    open_any, save_sharded, shard_of, AnyReader, Manifest, ShardEntry,
-    ShardedInfo, ShardedReader, ShardedWriter, StreamingStore,
-    DEFAULT_SHARD_SEED, TAG_SHRD,
+    open_any, save_sharded, save_sharded_layout, shard_of, AnyReader,
+    Manifest, ShardEntry, ShardedInfo, ShardedReader, ShardedWriter,
+    StreamingStore, DEFAULT_SHARD_SEED, TAG_SHRD,
 };

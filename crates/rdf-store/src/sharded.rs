@@ -28,12 +28,13 @@
 
 use crate::checksum::crc32;
 use crate::container::{
-    Container, ContainerWriter, KIND_MANIFEST, KIND_SHARD,
+    Container, ContainerWriter, Layout, KIND_MANIFEST, KIND_SHARD,
 };
 use crate::error::StoreError;
+use crate::fixed::{check_pad8, decode_trpl_fixed_cols, pad8};
 use crate::graph_store::{
     decode_bnam, decode_dict_checked, decode_node, decode_trpl,
-    encode_global_sections, encode_trpl, section_span, StoreReader,
+    encode_global_sections, encode_trpl_into, section_span, StoreReader,
     TAG_BNAM, TAG_DICT, TAG_NODE, TAG_TRPL,
 };
 use crate::varint::{read_varint, read_varint_u32, write_varint};
@@ -98,20 +99,31 @@ pub struct Manifest {
 pub struct ShardedWriter {
     shards: usize,
     seed: u64,
+    layout: Layout,
 }
 
 impl ShardedWriter {
-    /// A writer splitting into `shards` files with the default seed.
+    /// A writer splitting into `shards` files with the default seed and
+    /// the default (varint) section layout.
     pub fn new(shards: usize) -> Self {
         ShardedWriter {
             shards,
             seed: DEFAULT_SHARD_SEED,
+            layout: Layout::Varint,
         }
     }
 
     /// Override the subject-hash seed (recorded in the manifest).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Choose the section layout for the manifest and every shard file
+    /// (readers resolve layout per file from each header, so the
+    /// writer's uniform choice is a convention, not a format rule).
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -147,13 +159,20 @@ impl ShardedWriter {
 
         let mut entries = Vec::with_capacity(self.shards);
         let mut paths = Vec::with_capacity(self.shards + 1);
+        // One scratch buffer for every shard's TRPL body and one for
+        // the framed file image: the per-shard loop allocates nothing
+        // proportional to the shard count.
+        let mut scratch = Vec::new();
+        let mut bytes = Vec::new();
         for (k, bucket) in buckets.iter().enumerate() {
             let name = format!("{stem}-shard-{k}.rdfb");
-            let mut bytes = Vec::new();
+            encode_trpl_into(&mut scratch, bucket, self.layout);
+            bytes.clear();
             let mut w = ContainerWriter::new();
-            w.section(TAG_TRPL, encode_trpl(bucket));
-            w.finish(
+            w.section(TAG_TRPL, scratch.as_slice());
+            w.finish_versioned(
                 &mut bytes,
+                self.layout.version(),
                 KIND_SHARD,
                 [k as u64, 0, bucket.len() as u64],
             )?;
@@ -168,7 +187,7 @@ impl ShardedWriter {
             });
         }
 
-        let global = encode_global_sections(vocab, graph)?;
+        let global = encode_global_sections(vocab, graph, self.layout)?;
         let mut shrd = Vec::new();
         write_varint(&mut shrd, self.seed);
         write_varint(&mut shrd, entries.len() as u64);
@@ -178,6 +197,9 @@ impl ShardedWriter {
             write_varint(&mut shrd, e.triples);
             write_varint(&mut shrd, u64::from(e.crc));
         }
+        if self.layout == Layout::Fixed {
+            pad8(&mut shrd);
+        }
 
         let mut bytes = Vec::new();
         let mut w = ContainerWriter::new();
@@ -185,8 +207,9 @@ impl ShardedWriter {
             .section(TAG_DICT, global.dict)
             .section(TAG_NODE, global.node)
             .section(TAG_BNAM, global.bnam);
-        w.finish(
+        w.finish_versioned(
             &mut bytes,
+            self.layout.version(),
             KIND_MANIFEST,
             [
                 self.shards as u64,
@@ -200,7 +223,8 @@ impl ShardedWriter {
     }
 }
 
-/// Save a graph as `<path>` (manifest) + `shards` shard files.
+/// Save a graph as `<path>` (manifest) + `shards` shard files in the
+/// default varint layout.
 pub fn save_sharded(
     path: impl AsRef<Path>,
     vocab: &Vocab,
@@ -208,6 +232,20 @@ pub fn save_sharded(
     shards: usize,
 ) -> Result<Vec<PathBuf>, StoreError> {
     ShardedWriter::new(shards).write(path, vocab, graph)
+}
+
+/// Save a graph as `<path>` (manifest) + `shards` shard files in an
+/// explicit section layout.
+pub fn save_sharded_layout(
+    path: impl AsRef<Path>,
+    vocab: &Vocab,
+    graph: &RdfGraph,
+    shards: usize,
+    layout: Layout,
+) -> Result<Vec<PathBuf>, StoreError> {
+    ShardedWriter::new(shards)
+        .with_layout(layout)
+        .write(path, vocab, graph)
 }
 
 /// Summary of a sharded store, as shown by `rdf info`: the manifest
@@ -360,19 +398,21 @@ impl ShardedReader {
         let mut open = rec.span("store.open");
         open.field("bytes", self.bytes.len());
         let c = Container::parse(&self.bytes)?;
+        let layout = c.header().layout();
+        open.field("layout", layout.to_string());
         drop(open);
         let version = c.header().version;
         let manifest = parse_manifest(&c)?;
 
         let dict_body = c.section(TAG_DICT)?;
         let vocab = {
-            let _sp = section_span(rec, "DICT", dict_body.len());
-            decode_dict_checked(dict_body, None)?
+            let _sp = section_span(rec, "DICT", dict_body.len(), layout);
+            decode_dict_checked(dict_body, None, layout)?
         };
         let node_body = c.section(TAG_NODE)?;
         let (labels, kinds) = {
-            let _sp = section_span(rec, "NODE", node_body.len());
-            decode_node(node_body, &vocab, Some(manifest.nodes))?
+            let _sp = section_span(rec, "NODE", node_body.len(), layout);
+            decode_node(node_body, &vocab, Some(manifest.nodes), layout)?
         };
         let node_count = labels.len();
 
@@ -412,8 +452,8 @@ impl ShardedReader {
         }
         let bnam_body = c.section(TAG_BNAM)?;
         let blank_names = {
-            let _sp = section_span(rec, "BNAM", bnam_body.len());
-            decode_bnam(bnam_body, node_count)?
+            let _sp = section_span(rec, "BNAM", bnam_body.len(), layout);
+            decode_bnam(bnam_body, node_count, layout)?
         };
         let info = ShardedInfo {
             version,
@@ -439,12 +479,15 @@ impl ShardedReader {
     /// entry point of the Luo et al. / Hellings et al. construction.
     pub fn open_streaming(&self) -> Result<StreamingStore, StoreError> {
         let c = Container::parse(&self.bytes)?;
+        let layout = c.header().layout();
         let manifest = parse_manifest(&c)?;
-        let vocab = decode_dict_checked(c.section(TAG_DICT)?, None)?;
+        let vocab =
+            decode_dict_checked(c.section(TAG_DICT)?, None, layout)?;
         let (labels, kinds) = decode_node(
             c.section(TAG_NODE)?,
             &vocab,
             Some(manifest.nodes),
+            layout,
         )?;
         Ok(StreamingStore {
             dir: self.dir.clone(),
@@ -596,15 +639,46 @@ impl ShardColumnsSource for StreamingStore {
 
     fn load_shard(&self, k: usize) -> Result<ShardColumns, StoreError> {
         let entry = &self.manifest.shards[k];
-        let (_, run) = load_shard_traced(
-            &self.dir,
-            k,
-            entry,
-            &self.recorder,
-            None,
-        )?;
-        Ok(ShardColumns::from_sorted_triples(&run))
+        let mut sp = self.recorder.span("shard.load");
+        sp.field("shard", k);
+        let bytes = read_shard_file(&self.dir, entry)?;
+        sp.field("bytes", bytes.len());
+        let crc_start = sp.enabled().then(Instant::now);
+        check_shard_crc(&bytes, entry)?;
+        if let Some(start) = crc_start {
+            sp.field("crc_us", start.elapsed().as_micros() as u64);
+        }
+        decode_shard_columns(&bytes, k, entry)
+            .map_err(|e| wrap_in_shard(entry, e))
     }
+}
+
+/// Decode one validated shard file straight into [`ShardColumns`]. The
+/// fixed layout feeds its widened columns through
+/// [`ShardColumns::from_sorted_iter`] — no intermediate `Vec<Triple>`
+/// and no varint work on the streaming hot path.
+fn decode_shard_columns(
+    bytes: &[u8],
+    index: usize,
+    entry: &ShardEntry,
+) -> Result<ShardColumns, StoreError> {
+    let (body, layout) = shard_trpl_body(bytes, index, entry)?;
+    Ok(match layout {
+        Layout::Varint => ShardColumns::from_sorted_triples(&decode_trpl(
+            body,
+            Some(entry.triples),
+            layout,
+        )?),
+        Layout::Fixed => {
+            let [s, p, o] =
+                decode_trpl_fixed_cols(body, Some(entry.triples))?;
+            ShardColumns::from_sorted_iter(
+                s.iter().zip(&p).zip(&o).map(|((&s, &p), &o)| {
+                    Triple::new(NodeId(s), NodeId(p), NodeId(o))
+                }),
+            )
+        }
+    })
 }
 
 /// Parse the `SHRD` directory out of a validated manifest container and
@@ -663,11 +737,17 @@ fn parse_manifest(c: &Container<'_>) -> Result<Manifest, StoreError> {
         })?;
         shards.push(ShardEntry { name, triples, crc });
     }
-    if pos != shrd.len() {
-        return Err(StoreError::Corrupt(format!(
-            "{} trailing bytes after shard directory",
-            shrd.len() - pos
-        )));
+    match header.layout() {
+        // Layout v2 pads every payload to 8; the tail must be zeros.
+        Layout::Fixed => check_pad8(shrd, pos, "SHRD section")?,
+        Layout::Varint => {
+            if pos != shrd.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "{} trailing bytes after shard directory",
+                    shrd.len() - pos
+                )));
+            }
+        }
     }
     if total != header.counts[2] {
         return Err(StoreError::Corrupt(format!(
@@ -722,7 +802,14 @@ fn decode_shard(
     index: usize,
     entry: &ShardEntry,
 ) -> Result<Vec<Triple>, StoreError> {
-    decode_shard_inner(bytes, index, entry).map_err(|e| match e {
+    decode_shard_inner(bytes, index, entry)
+        .map_err(|e| wrap_in_shard(entry, e))
+}
+
+/// Name the failing shard file in an error bubbling out of its
+/// container — unless the error already does.
+fn wrap_in_shard(entry: &ShardEntry, e: StoreError) -> StoreError {
+    match e {
         // These already name the shard file; don't double-wrap.
         e @ (StoreError::InShard { .. }
         | StoreError::ShardChecksumMismatch { .. }
@@ -731,7 +818,7 @@ fn decode_shard(
             shard: entry.name.clone(),
             source: Box::new(e),
         },
-    })
+    }
 }
 
 fn decode_shard_inner(
@@ -739,6 +826,18 @@ fn decode_shard_inner(
     index: usize,
     entry: &ShardEntry,
 ) -> Result<Vec<Triple>, StoreError> {
+    let (body, layout) = shard_trpl_body(bytes, index, entry)?;
+    decode_trpl(body, Some(entry.triples), layout)
+}
+
+/// Validate a shard container's framing, kind and index, and return
+/// its `TRPL` body plus the layout *this shard file* declares (each
+/// shard self-describes; a store may in principle mix layouts).
+fn shard_trpl_body<'a>(
+    bytes: &'a [u8],
+    index: usize,
+    entry: &ShardEntry,
+) -> Result<(&'a [u8], Layout), StoreError> {
     let c = Container::parse(bytes)?;
     let header = *c.header();
     if header.kind != KIND_SHARD {
@@ -753,7 +852,7 @@ fn decode_shard_inner(
             entry.name, header.counts[0]
         )));
     }
-    decode_trpl(c.section(TAG_TRPL)?, Some(entry.triples))
+    Ok((c.section(TAG_TRPL)?, header.layout()))
 }
 
 /// Either kind of on-disk graph store, resolved by content kind — the

@@ -208,13 +208,29 @@ fn bad_magic_is_typed() {
 #[test]
 fn future_version_is_typed() {
     let (_, _, mut bytes) = sample_store();
-    bytes[4] = 2;
+    bytes[4] = 3;
     bytes[5] = 0;
     match StoreReader::from_bytes(bytes).read_graph() {
-        Err(StoreError::UnsupportedVersion { found: 2, supported }) => {
-            assert_eq!(supported, rdf_store::FORMAT_VERSION)
+        Err(StoreError::UnsupportedVersion { found: 3, supported }) => {
+            assert_eq!(supported, rdf_store::MAX_FORMAT_VERSION)
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_flag_is_the_layout_authority() {
+    // Stamping the fixed-layout version onto varint bytes must fail with
+    // a typed fixed-parse error, never silently decode as varint: readers
+    // resolve layout from the header flag alone.
+    let (_, _, mut bytes) = sample_store();
+    bytes[4] = rdf_store::FORMAT_VERSION_FIXED as u8;
+    bytes[5] = 0;
+    match StoreReader::from_bytes(bytes).read_graph() {
+        Err(
+            StoreError::Truncated { .. } | StoreError::Corrupt(_),
+        ) => {}
+        other => panic!("expected typed fixed-parse error, got {other:?}"),
     }
 }
 

@@ -156,8 +156,12 @@ proptest! {
 }
 
 /// Shard corruption surfaces as the same typed [`StoreError`]s the
-/// stitched load reports — and deterministically: the lowest-indexed
-/// failing shard wins at every thread count.
+/// stitched load reports — and deterministically. `open_streaming` is
+/// the single checksum pass of a streaming run: pre-existing
+/// corruption fails the open itself, while damage inflicted *after*
+/// the open (whose checks the trusted per-round re-reads skip) still
+/// surfaces as a typed, shard-naming framing error, with the
+/// lowest-indexed failing shard winning at every thread count.
 #[test]
 fn corrupt_shards_fail_with_typed_errors_at_every_thread_count() {
     let mut vocab = Vocab::new();
@@ -172,27 +176,48 @@ fn corrupt_shards_fail_with_typed_errors_at_every_thread_count() {
     let dir = tmp();
     let manifest = dir.join("g.rdfm");
     let paths = save_sharded(&manifest, &vocab, &g, 4).unwrap();
+    // Open while the files are intact: this is the one-time validation
+    // pass that later rounds trust.
     let store = ShardedReader::open(&manifest)
         .unwrap()
         .open_streaming()
         .unwrap();
 
-    // Flip one byte in shards 1 and 3; shard 1's error must surface at
-    // every thread count (deterministic lowest-index error).
+    // Flip one byte in shards 1 and 3. A *fresh* open runs the
+    // checksum pass and must report shard 1 (deterministic
+    // lowest-index error), before any refinement work starts.
     for shard in [&paths[2], &paths[4]] {
         let mut bytes = std::fs::read(shard).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         std::fs::write(shard, bytes).unwrap();
     }
+    let err = ShardedReader::open(&manifest)
+        .unwrap()
+        .open_streaming()
+        .unwrap_err();
+    match err {
+        StoreError::ShardChecksumMismatch { ref shard, .. } => {
+            assert!(
+                shard.contains("shard-1"),
+                "expected shard 1's error, got {shard:?}"
+            );
+        }
+        other => panic!("unexpected open error {other:?}"),
+    }
+
+    // The already-open store re-reads shards trusted (no checksum
+    // pass), but framing and truncation checks remain: gut shard 1 and
+    // its error — naming the file — wins at every thread count.
+    let bytes = std::fs::read(&paths[2]).unwrap();
+    std::fs::write(&paths[2], &bytes[..bytes.len() / 2]).unwrap();
     for t in [1usize, 2, 4] {
         let err = StreamingRefineEngine::new(Threads::Fixed(t))
             .bisimulation(&store, store.labels())
             .unwrap_err();
         match err {
-            StreamError::Source(StoreError::ShardChecksumMismatch {
-                ref shard,
-                ..
+            StreamError::Source(StoreError::InShard {
+                ref shard, ..
             }) => {
                 assert!(
                     shard.contains("shard-1"),

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod pipeline;
+pub mod serve;
+pub mod signals;
 
 use crate::pipeline::{ctx, open_any};
 use rdf_align::pipeline::{
@@ -231,7 +233,8 @@ pub fn info_traced(
             if info.header.kind == rdf_store::KIND_GRAPH {
                 out.push_str(&format!(
                     "  layout {}, load mode {}\n",
-                    info.layout, info.mode,
+                    info.layout,
+                    load_mode_label(&info),
                 ));
             }
             if let Some(threads) = bisim {
@@ -274,18 +277,26 @@ pub fn info_traced(
             // With --bisim the graph is needed anyway, so gather the
             // info summary in the same pass instead of reading and
             // CRC-checking every shard file twice. On the streaming
-            // path the graph is deliberately *not* materialised: the
-            // info() pass validates everything, then the streaming
-            // engine re-reads the shards round by round.
-            let (info, graph) = match (bisim, streaming) {
-                (Some(_), true) | (None, _) => {
-                    (reader.info().map_err(|e| ctx(input, e))?, None)
+            // path the graph is deliberately *not* materialised:
+            // open_streaming_traced validates every shard exactly once
+            // (that pass doubles as the info summary), then the
+            // streaming engine re-reads the shards round by round
+            // without further checksum work.
+            let (info, graph, stream) = match (bisim, streaming) {
+                (Some(_), true) => {
+                    let (store, info) = reader
+                        .open_streaming_traced(Arc::clone(rec))
+                        .map_err(|e| ctx(input, e))?;
+                    (info, None, Some(store))
+                }
+                (None, _) => {
+                    (reader.info().map_err(|e| ctx(input, e))?, None, None)
                 }
                 (Some(threads), false) => {
                     let (info, _, graph) = reader
                         .read_graph_with_info_traced(threads, rec)
                         .map_err(|e| ctx(input, e))?;
-                    (info, Some(graph))
+                    (info, Some(graph), None)
                 }
             };
             let m = &info.manifest;
@@ -316,10 +327,9 @@ pub fn info_traced(
                 (Some(threads), true, _) => {
                     // Shard-at-a-time: only the color vector plus one
                     // shard's columns per worker are ever resident.
-                    let mut store = reader
-                        .open_streaming()
-                        .map_err(|e| ctx(input, e))?;
-                    store.set_recorder(Arc::clone(rec));
+                    // The store (recorder already attached) comes from
+                    // the validating open above.
+                    let store = stream.expect("opened on the streaming arm");
                     let mut engine = StreamingRefineEngine::with_recorder(
                         threads,
                         Arc::clone(rec),
@@ -341,6 +351,19 @@ pub fn info_traced(
             }
             Ok(out)
         }
+    }
+}
+
+/// Render a store's load mode for `rdf info`. A widening load names
+/// the column width that forced it — `widen (width 2)` — so operators
+/// can see *why* the zero-copy path was skipped; `borrow` and `decode`
+/// render as before.
+fn load_mode_label(info: &rdf_store::StoreInfo) -> String {
+    match (info.mode, info.trpl_width) {
+        (rdf_store::LoadMode::Widen, Some(w)) => {
+            format!("widen (width {w})")
+        }
+        (mode, _) => mode.to_string(),
     }
 }
 

@@ -10,6 +10,8 @@
 //!            <source> <target>
 //! rdf stats  <trace.jsonl>
 //! rdf gen    [--scale F] [--versions N] --out-dir DIR
+//! rdf serve  [--socket SOCK] [--threads N] [--cache-bytes B]
+//! rdf request [--socket SOCK] [--trace-out PATH] <request-json>
 //! ```
 //!
 //! Store inputs may be `.rdfb` single files or `.rdfm` sharded
@@ -61,6 +63,17 @@ commands:
                                     totals (per-phase time breakdown)
   gen    [--scale F] [--versions N] --out-dir DIR
                                     write seeded EFO-like N-Triples fixtures
+  serve  [--socket SOCK] [--threads N] [--cache-bytes B]
+                                    run the alignment daemon: answer
+                                    line-delimited JSON requests over a
+                                    unix socket (or SOCK = tcp:HOST:PORT)
+                                    with a cached store pool; SIGTERM
+                                    shuts it down cleanly (exit 0)
+  request [--socket SOCK] [--trace-out PATH] <request-json>
+                                    send one JSON request line to a
+                                    running daemon and print the report
+                                    (byte-identical to the one-shot
+                                    command); see docs/PROTOCOL.md
 
 threading:
   --threads N                       N = auto | positive integer (default
@@ -187,6 +200,46 @@ EXAMPLES
   rdf gen --scale 0.25 --versions 2 --out-dir /tmp/efo
 ";
 
+const HELP_SERVE: &str = "\
+usage: rdf serve [--socket SOCK] [--threads N] [--cache-bytes B]
+
+Run the long-lived alignment daemon. SOCK is a unix socket path or
+tcp:HOST:PORT (default: the RDF_SOCKET environment variable). Clients
+send one JSON object per line — ops import|info|align|stats, each with
+an optional per-request thread budget and trace toggle — and get one
+JSON response line back; `info` and `align` reports are byte-identical
+to the one-shot commands' stdout. docs/PROTOCOL.md is the normative
+wire spec.
+
+Align inputs that are single-file stores are decoded once and kept in
+an in-memory pool keyed by content hash, bounded by --cache-bytes B
+(default 268435456): a warm request skips the store open entirely.
+Eviction is least-recently-used by resident bytes, preferring to keep
+fixed-layout (v2) stores. Requests are handled by a persistent worker
+gang of --threads N (default auto). SIGTERM or SIGINT drains in-flight
+requests and exits 0.
+
+EXAMPLES
+  rdf serve --socket /tmp/rdf.sock --threads 4 &
+  rdf request --socket /tmp/rdf.sock '{\"op\":\"stats\"}'
+";
+
+const HELP_REQUEST: &str = "\
+usage: rdf request [--socket SOCK] [--trace-out PATH] <request-json>
+
+Send one request line to a running `rdf serve` daemon and print the
+report text — byte-identical to the matching one-shot command. SOCK is
+a unix socket path or tcp:HOST:PORT (default: the RDF_SOCKET
+environment variable). With --trace-out PATH and \"trace\":true in the
+request, the server's per-request JSONL trace is written to PATH
+(readable by `rdf stats`). Protocol errors print as `rdf: serve
+<kind>: <message>` and exit 2.
+
+EXAMPLES
+  rdf request --socket /tmp/rdf.sock '{\"op\":\"info\",\"path\":\"/tmp/efo/v1.rdfb\"}'
+  rdf request --socket /tmp/rdf.sock '{\"op\":\"align\",\"source\":\"/tmp/efo/v1.rdfb\",\"target\":\"/tmp/efo/v2.rdfb\"}'
+";
+
 /// Whether the argument list asks for help.
 fn wants_help(rest: &[String]) -> bool {
     rest.iter().any(|a| a == "--help" || a == "-h")
@@ -194,6 +247,11 @@ fn wants_help(rest: &[String]) -> bool {
 
 /// Resolve the tracing recorder for a command: the `--trace` flag wins,
 /// else the `RDF_TRACE` environment variable, else tracing is disabled.
+///
+/// The trace file is opened *eagerly*, before any input is touched: an
+/// unwritable trace path fails the whole command up front with an error
+/// naming that path, instead of surfacing at the first flush after
+/// minutes of work.
 fn trace_recorder(
     flag: Option<PathBuf>,
 ) -> Result<Arc<Recorder>, String> {
@@ -202,7 +260,9 @@ fn trace_recorder(
     match path {
         Some(p) => Recorder::jsonl_file(&p)
             .map(Arc::new)
-            .map_err(|e| format!("{}: {e}", p.display())),
+            .map_err(|e| {
+                format!("trace file {}: cannot open: {e}", p.display())
+            }),
         None => Ok(Arc::new(Recorder::disabled())),
     }
 }
@@ -430,9 +490,94 @@ fn run(args: &[String]) -> Result<String, String> {
             let out_dir = out_dir.ok_or("gen requires --out-dir")?;
             rdf_cli::gen(&out_dir, scale, versions).map_err(|e| e.to_string())
         }
+        "serve" => {
+            if wants_help(rest) {
+                return Ok(HELP_SERVE.to_string());
+            }
+            let mut socket: Option<String> = None;
+            let mut threads = Threads::Auto;
+            let mut cache_bytes = rdf_cli::serve::DEFAULT_CACHE_BYTES;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = Some(
+                            it.next().ok_or("--socket needs a value")?.clone(),
+                        );
+                    }
+                    "--threads" => {
+                        threads = Threads::parse(
+                            it.next().ok_or("--threads needs a value")?,
+                        )?;
+                    }
+                    "--cache-bytes" => {
+                        cache_bytes = it
+                            .next()
+                            .ok_or("--cache-bytes needs a byte count")?
+                            .parse::<u64>()
+                            .map_err(|_| {
+                                "--cache-bytes needs a byte count"
+                            })?;
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown serve argument {other}"
+                        ))
+                    }
+                }
+            }
+            let socket = resolve_socket(socket)?;
+            rdf_cli::serve::serve(&socket, threads, cache_bytes)
+                .map_err(|e| e.to_string())
+        }
+        "request" => {
+            if wants_help(rest) {
+                return Ok(HELP_REQUEST.to_string());
+            }
+            let mut socket: Option<String> = None;
+            let mut trace_out: Option<PathBuf> = None;
+            let mut lines: Vec<String> = Vec::new();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--socket" => {
+                        socket = Some(
+                            it.next().ok_or("--socket needs a value")?.clone(),
+                        );
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(PathBuf::from(
+                            it.next().ok_or("--trace-out needs a path")?,
+                        ));
+                    }
+                    other => lines.push(other.to_string()),
+                }
+            }
+            let [line]: [String; 1] = lines.try_into().map_err(|_| {
+                "request takes exactly one JSON request line"
+            })?;
+            let socket = resolve_socket(socket)?;
+            rdf_cli::serve::request(&socket, &line, trace_out.as_deref())
+                .map_err(|e| e.to_string())
+        }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
+}
+
+/// Resolve the daemon socket: `--socket` wins, else `RDF_SOCKET`.
+fn resolve_socket(flag: Option<String>) -> Result<String, String> {
+    flag.or_else(|| {
+        std::env::var(rdf_serve::SOCKET_ENV)
+            .ok()
+            .filter(|s| !s.is_empty())
+    })
+    .ok_or_else(|| {
+        format!(
+            "no socket: pass --socket PATH (or tcp:HOST:PORT) or set {}",
+            rdf_serve::SOCKET_ENV
+        )
+    })
 }
 
 fn two_paths(rest: &[String], cmd: &str) -> Result<[PathBuf; 2], String> {

@@ -1,0 +1,307 @@
+//! Clean-shutdown plumbing for `rdf serve`: SIGTERM/SIGINT delivered
+//! through a `signalfd(2)` instead of an async handler.
+//!
+//! The workspace is std-only (no libc, no signal-hook), so this is the
+//! same raw-syscall idiom as `rdf_store`'s mmap path: block the
+//! termination signals with `rt_sigprocmask(2)`, obtain a file
+//! descriptor for them with `signalfd4(2)`, and `ppoll(2)` it next to
+//! the listening socket. A delivered SIGTERM then surfaces as an
+//! ordinary readable fd — the accept loop drains it and returns
+//! normally, so the process exits 0 with every worker joined, instead
+//! of dying mid-request with the default disposition's exit 143.
+//!
+//! Supported on Linux x86-64 and aarch64; [`setup`] returns `None`
+//! elsewhere and the server falls back to a plain blocking accept loop
+//! (no clean-shutdown contract off Linux).
+
+use std::io;
+
+/// `SIGINT` signal number.
+pub const SIGINT: u32 = 2;
+/// `SIGTERM` signal number.
+pub const SIGTERM: u32 = 15;
+
+/// What woke the accept loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// The listener has a connection ready to accept.
+    Connection,
+    /// A termination signal arrived (value: the signal number).
+    Signal(u32),
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::{Wake, SIGINT, SIGTERM};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const READ: usize = 0;
+        pub const CLOSE: usize = 3;
+        pub const RT_SIGPROCMASK: usize = 14;
+        pub const PPOLL: usize = 271;
+        pub const SIGNALFD4: usize = 289;
+    }
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const READ: usize = 63;
+        pub const CLOSE: usize = 57;
+        pub const RT_SIGPROCMASK: usize = 135;
+        pub const PPOLL: usize = 73;
+        pub const SIGNALFD4: usize = 74;
+    }
+
+    const SIG_BLOCK: usize = 0;
+    /// 8 bytes: the kernel sigset is 64 bits on both targets.
+    const SIGSET_BYTES: usize = 8;
+    const SFD_CLOEXEC: usize = 0o2000000;
+    const POLLIN: i16 = 1;
+    const EINTR: usize = 4;
+
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    unsafe fn syscall5(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+    ) -> usize {
+        let ret: usize;
+        // SAFETY: plain syscall instruction with the kernel's x86-64
+        // calling convention; rcx/r11 are kernel-clobbered.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[allow(unsafe_code)]
+    unsafe fn syscall5(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+    ) -> usize {
+        let ret: usize;
+        // SAFETY: plain svc with the kernel's aarch64 convention.
+        unsafe {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") n,
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                in("x4") a5,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    fn check(ret: usize) -> io::Result<usize> {
+        // Negative errno comes back as a huge usize.
+        if ret > usize::MAX - 4095 {
+            Err(io::Error::from_raw_os_error(
+                (usize::MAX - ret + 1) as i32,
+            ))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Signal fd carrying blocked SIGTERM/SIGINT; closed on drop.
+    #[derive(Debug)]
+    pub struct SignalFd {
+        fd: RawFd,
+    }
+
+    impl Drop for SignalFd {
+        fn drop(&mut self) {
+            // SAFETY: closing an fd this struct exclusively owns.
+            #[allow(unsafe_code)]
+            let _ = unsafe {
+                syscall5(nr::CLOSE, self.fd as usize, 0, 0, 0, 0)
+            };
+        }
+    }
+
+    /// Block SIGTERM/SIGINT process-wide (threads spawned later
+    /// inherit the mask) and return a signalfd for them.
+    pub fn setup() -> io::Result<SignalFd> {
+        let mask: u64 =
+            (1u64 << (SIGTERM - 1)) | (1u64 << (SIGINT - 1));
+        // SAFETY: both calls pass a valid 8-byte sigset that outlives
+        // them; errors are surfaced through `check`.
+        #[allow(unsafe_code)]
+        let fd = unsafe {
+            check(syscall5(
+                nr::RT_SIGPROCMASK,
+                SIG_BLOCK,
+                (&mask as *const u64) as usize,
+                0,
+                SIGSET_BYTES,
+                0,
+            ))?;
+            check(syscall5(
+                nr::SIGNALFD4,
+                usize::MAX, // -1: create a new fd
+                (&mask as *const u64) as usize,
+                SIGSET_BYTES,
+                SFD_CLOEXEC,
+                0,
+            ))?
+        };
+        Ok(SignalFd { fd: fd as RawFd })
+    }
+
+    /// Block until the listener is readable or a signal arrives.
+    pub fn wait(listener: RawFd, sig: &SignalFd) -> io::Result<Wake> {
+        #[repr(C)]
+        struct PollFd {
+            fd: i32,
+            events: i16,
+            revents: i16,
+        }
+        loop {
+            let mut fds = [
+                PollFd {
+                    fd: sig.fd,
+                    events: POLLIN,
+                    revents: 0,
+                },
+                PollFd {
+                    fd: listener,
+                    events: POLLIN,
+                    revents: 0,
+                },
+            ];
+            // SAFETY: ppoll with a valid 2-element array, no timeout,
+            // no temporary sigmask.
+            #[allow(unsafe_code)]
+            let ret = unsafe {
+                syscall5(
+                    nr::PPOLL,
+                    fds.as_mut_ptr() as usize,
+                    fds.len(),
+                    0,
+                    0,
+                    0,
+                )
+            };
+            match check(ret) {
+                Err(e)
+                    if e.raw_os_error() == Some(EINTR as i32) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e),
+                Ok(_) => {}
+            }
+            if fds[0].revents & POLLIN != 0 {
+                // Drain one signalfd_siginfo record (128 bytes); the
+                // leading u32 is the signal number.
+                let mut buf = [0u8; 128];
+                // SAFETY: reading into a live 128-byte buffer from an
+                // fd this process owns.
+                #[allow(unsafe_code)]
+                let n = unsafe {
+                    check(syscall5(
+                        nr::READ,
+                        sig.fd as usize,
+                        buf.as_mut_ptr() as usize,
+                        buf.len(),
+                        0,
+                        0,
+                    ))?
+                };
+                let signo = if n >= 4 {
+                    u32::from_ne_bytes([
+                        buf[0], buf[1], buf[2], buf[3],
+                    ])
+                } else {
+                    SIGTERM
+                };
+                return Ok(Wake::Signal(signo));
+            }
+            if fds[1].revents != 0 {
+                return Ok(Wake::Connection);
+            }
+        }
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use sys::SignalFd;
+
+/// Install the signal mask + signalfd where the platform supports it;
+/// `None` means the caller must run without a clean-shutdown path.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn setup() -> Option<io::Result<SignalFd>> {
+    Some(sys::setup())
+}
+
+/// See the Linux implementation; on other platforms there is no
+/// signalfd and the server runs without the clean-shutdown contract.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn setup() -> Option<io::Result<SignalFd>> {
+    None
+}
+
+/// Placeholder type on platforms without signalfd.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+#[derive(Debug)]
+pub struct SignalFd;
+
+/// Block until the listener is readable or a termination signal
+/// arrives (Linux implementation; unreachable elsewhere because
+/// [`setup`] returns `None`).
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn wait(listener: i32, sig: &SignalFd) -> io::Result<Wake> {
+    sys::wait(listener, sig)
+}
+
+/// Unreachable off Linux ([`setup`] returns `None` there).
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn wait(_listener: i32, _sig: &SignalFd) -> io::Result<Wake> {
+    unreachable!("signalfd is not available on this platform")
+}

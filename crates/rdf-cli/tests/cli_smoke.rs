@@ -469,7 +469,10 @@ fn help_examples_execute_and_cover_every_subcommand() {
 
     // Per-subcommand help: an EXAMPLES block that addresses the
     // subcommand itself.
-    for cmd in ["import", "export", "info", "align", "stats", "gen"] {
+    for cmd in [
+        "import", "export", "info", "align", "stats", "gen", "serve",
+        "request",
+    ] {
         let h = run_ok(&[cmd, "--help"]);
         assert!(h.contains("EXAMPLES"), "{cmd} --help has EXAMPLES");
         assert!(
@@ -635,4 +638,159 @@ fn import_rejects_archive_containers() {
     let info_out =
         run_ok(&["info", "--bisim", s(&dir.path("a.rdfb"))]);
     assert!(info_out.contains("bisimulation: n/a"), "got: {info_out}");
+}
+
+/// An unwritable `--trace` path fails *eagerly*: the error names the
+/// trace file and arrives before any input is touched — even when the
+/// input path is also bogus, the trace path is the one reported.
+#[test]
+fn trace_file_failures_are_eager_and_name_the_trace_path() {
+    let dir = TempDir::new("tracefail");
+    let bad_trace = dir.path("no-such-dir").join("t.jsonl");
+    let bad_store = dir.path("also-absent.rdfb");
+    for cmd in [
+        vec!["info", "--trace", s(&bad_trace), s(&bad_store)],
+        vec![
+            "align", "--trace", s(&bad_trace),
+            s(&bad_store), s(&bad_store),
+        ],
+        vec![
+            "import", "--trace", s(&bad_trace),
+            s(&bad_store), s(&dir.path("out.rdfb")),
+        ],
+    ] {
+        let err = run_err(&cmd);
+        assert!(
+            err.contains("trace file") && err.contains("t.jsonl"),
+            "{cmd:?}: error must name the trace file, got: {err}"
+        );
+        assert!(
+            !err.contains("also-absent.rdfb"),
+            "{cmd:?}: trace error must come before input access: {err}"
+        );
+    }
+    // Same contract through RDF_TRACE.
+    let out = Command::new(bin())
+        .args(["info", s(&bad_store)])
+        .env("RDF_TRACE", &bad_trace)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("trace file"), "got: {err}");
+}
+
+/// The README's `rdf serve` example block cannot rot: its lines are
+/// extracted from README.md and executed verbatim (paths redirected
+/// into a temp dir), asserting the served align report matches the
+/// one-shot CLI byte-for-byte.
+#[test]
+fn readme_serve_example_block_executes() {
+    use std::io::BufRead;
+
+    let readme = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md"),
+    )
+    .expect("README.md at the repo root");
+    let lines: Vec<&str> = readme
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with("target/release/rdf "))
+        .filter(|l| l.contains(" serve ") || l.contains(" request "))
+        .collect();
+    assert!(
+        lines.iter().any(|l| l.contains(" serve ")),
+        "README shows an `rdf serve` line"
+    );
+    assert!(
+        lines.iter().filter(|l| l.contains(" request ")).count() >= 2,
+        "README shows `rdf request` usage: {lines:?}"
+    );
+    assert!(
+        readme.contains("kill %1"),
+        "README shows the SIGTERM shutdown step"
+    );
+
+    // Build the fixture stores the example block refers to, with
+    // /tmp/efo and /tmp/rdf.sock redirected into this test's temp dir.
+    let dir = TempDir::new("readme-serve");
+    run_ok(&[
+        "gen", "--scale", "0.1", "--versions", "2", "--out-dir", s(&dir.0),
+    ]);
+    run_ok(&[
+        "import",
+        s(&dir.path("efo-v1.nt")),
+        s(&dir.path("v1.rdfb")),
+    ]);
+    run_ok(&[
+        "import",
+        s(&dir.path("efo-v2.nt")),
+        s(&dir.path("v2.rdfb")),
+    ]);
+    let redirect = |l: &str| -> Vec<String> {
+        l.trim_start_matches("target/release/")
+            .trim_end_matches('&')
+            .trim()
+            .replace("/tmp/efo", s(&dir.0))
+            .replace("/tmp/rdf.sock", s(&dir.path("rdf.sock")))
+            // The request payload is a single-quoted JSON argument;
+            // undo the shell quoting for Command's argv.
+            .split('\'')
+            .enumerate()
+            .flat_map(|(i, part)| {
+                if i % 2 == 1 {
+                    vec![part.to_string()]
+                } else {
+                    part.split_whitespace()
+                        .map(str::to_string)
+                        .collect()
+                }
+            })
+            .filter(|a| !a.is_empty())
+            .collect()
+    };
+
+    // Line 1: the daemon (README backgrounds it with `&`).
+    let serve_argv = redirect(lines[0]);
+    assert_eq!(serve_argv[1], "serve", "first line starts the daemon");
+    let mut daemon = Command::new(bin())
+        .args(&serve_argv[1..])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut ready = String::new();
+    std::io::BufReader::new(daemon.stdout.as_mut().unwrap())
+        .read_line(&mut ready)
+        .unwrap();
+    assert!(ready.contains("listening"), "got: {ready:?}");
+
+    // Remaining lines: the clients, verbatim.
+    let mut align_report = None;
+    for line in &lines[1..] {
+        let argv = redirect(line);
+        let args: Vec<&str> =
+            argv[1..].iter().map(String::as_str).collect();
+        let out = run_ok(&args);
+        assert!(!out.is_empty(), "`{line}` printed nothing");
+        if line.contains(r#""op":"align""#) {
+            align_report = Some(out);
+        }
+    }
+    // The served report equals the one-shot CLI's, byte for byte.
+    let one_shot = run_ok(&[
+        "align",
+        s(&dir.path("v1.rdfb")),
+        s(&dir.path("v2.rdfb")),
+    ]);
+    assert_eq!(align_report.as_deref(), Some(one_shot.as_str()));
+
+    // `kill %1` in the README: SIGTERM, clean exit.
+    let killed = Command::new("kill")
+        .arg("-TERM")
+        .arg(daemon.id().to_string())
+        .status()
+        .unwrap()
+        .success();
+    assert!(killed);
+    assert!(daemon.wait().unwrap().success(), "daemon exits 0");
 }

@@ -1,0 +1,350 @@
+//! End-to-end tests of the real `rdf serve` daemon: spawn the binary,
+//! talk to it over its unix socket (raw and via `rdf request`), and
+//! hold it to the protocol's contracts — byte-identity with the
+//! one-shot CLI, warm-cache behaviour, typed errors for malformed
+//! lines, eviction under a tiny budget, and clean SIGTERM shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rdf")
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "rdf {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("rdf-serve-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn s(p: &Path) -> &str {
+    p.to_str().unwrap()
+}
+
+/// Generate and import the two-version fixture; returns the absolute
+/// store paths (absolute so one-shot and served reports agree on the
+/// path lines too).
+fn fixture(dir: &TempDir) -> (PathBuf, PathBuf) {
+    run_ok(&[
+        "gen", "--scale", "0.1", "--versions", "2", "--out-dir", s(&dir.0),
+    ]);
+    let v1 = dir.path("v1.rdfb");
+    let v2 = dir.path("v2.rdfb");
+    run_ok(&["import", s(&dir.path("efo-v1.nt")), s(&v1)]);
+    run_ok(&["import", s(&dir.path("efo-v2.nt")), s(&v2)]);
+    (v1, v2)
+}
+
+/// A running daemon: spawned with `--socket`, confirmed ready (the
+/// readiness line is printed before the accept loop starts), killed on
+/// drop if the test didn't shut it down itself.
+struct Daemon {
+    child: Option<Child>,
+    socket: PathBuf,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Daemon {
+    fn start(socket: &Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(bin())
+            .arg("serve")
+            .arg("--socket")
+            .arg(socket)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let mut stdout = BufReader::new(child.stdout.take().unwrap());
+        let mut ready = String::new();
+        stdout.read_line(&mut ready).unwrap();
+        assert!(
+            ready.contains("listening"),
+            "daemon not ready, got: {ready:?}"
+        );
+        Daemon {
+            child: Some(child),
+            socket: socket.to_path_buf(),
+            stdout,
+        }
+    }
+
+    fn sock(&self) -> &str {
+        self.socket.to_str().unwrap()
+    }
+
+    /// SIGTERM the daemon and return (exit status success, remaining
+    /// stdout).
+    fn terminate(mut self) -> (bool, String) {
+        let mut child = self.child.take().unwrap();
+        let ok = Command::new("kill")
+            .arg("-TERM")
+            .arg(child.id().to_string())
+            .status()
+            .expect("kill runs")
+            .success();
+        assert!(ok, "kill -TERM failed");
+        let status = child.wait().expect("daemon exits");
+        let mut rest = String::new();
+        self.stdout.read_to_string(&mut rest).unwrap();
+        (status.success(), rest)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Raw client: one connection, send each line, read one response per
+/// line sent.
+fn raw_roundtrips(socket: &Path, lines: &[&str]) -> Vec<String> {
+    let stream = UnixStream::connect(socket).expect("connects");
+    let mut reader = BufReader::new(stream);
+    let mut replies = Vec::new();
+    for line in lines {
+        let s = reader.get_mut();
+        s.write_all(line.as_bytes()).unwrap();
+        s.write_all(b"\n").unwrap();
+        s.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.ends_with('\n'),
+            "response not newline-terminated (connection dropped?): \
+             {reply:?}"
+        );
+        replies.push(reply);
+    }
+    replies
+}
+
+fn align_request(v1: &Path, v2: &Path) -> String {
+    format!(
+        r#"{{"op":"align","source":"{}","target":"{}"}}"#,
+        v1.display(),
+        v2.display()
+    )
+}
+
+/// N concurrent clients each get a response byte-identical to the
+/// one-shot CLI's stdout for the same invocation — the core serve
+/// contract. The daemon then reports every request in its stats.
+#[test]
+fn concurrent_clients_match_one_shot_cli_byte_for_byte() {
+    let dir = TempDir::new("concurrent");
+    let (v1, v2) = fixture(&dir);
+    let one_shot = run_ok(&["align", s(&v1), s(&v2)]);
+
+    let daemon = Daemon::start(&dir.path("rdf.sock"), &[]);
+    let req = align_request(&v1, &v2);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let sock = daemon.sock().to_string();
+            let req = req.clone();
+            std::thread::spawn(move || {
+                let out = Command::new(bin())
+                    .args(["request", "--socket", &sock, &req])
+                    .output()
+                    .expect("client runs");
+                assert!(
+                    out.status.success(),
+                    "request failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                String::from_utf8(out.stdout).unwrap()
+            })
+        })
+        .collect();
+    for h in handles {
+        let served = h.join().expect("client thread");
+        assert_eq!(
+            served, one_shot,
+            "served align report differs from one-shot CLI"
+        );
+    }
+
+    let stats =
+        run_ok(&["request", "--socket", daemon.sock(), r#"{"op":"stats"}"#]);
+    assert!(stats.contains("requests 5"), "stats counted all: {stats}");
+    assert!(stats.contains("errors 0"), "no errors: {stats}");
+
+    let (clean, rest) = daemon.terminate();
+    assert!(clean, "daemon exited non-zero");
+    assert!(rest.contains("shutdown on signal 15"), "got: {rest:?}");
+}
+
+/// The warm-cache criterion: the first traced align opens both stores
+/// (`store.open` spans); the second identical request is served from
+/// the pool and its trace carries **no** `store.open` span at all —
+/// while the report stays byte-identical.
+#[test]
+fn warm_cache_request_skips_store_open_entirely() {
+    let dir = TempDir::new("warm");
+    let (v1, v2) = fixture(&dir);
+    let daemon = Daemon::start(&dir.path("rdf.sock"), &[]);
+    let req = format!(
+        r#"{{"op":"align","source":"{}","target":"{}","trace":true}}"#,
+        v1.display(),
+        v2.display()
+    );
+    let cold_trace = dir.path("cold.jsonl");
+    let warm_trace = dir.path("warm.jsonl");
+    let cold = run_ok(&[
+        "request", "--socket", daemon.sock(),
+        "--trace-out", s(&cold_trace), &req,
+    ]);
+    let warm = run_ok(&[
+        "request", "--socket", daemon.sock(),
+        "--trace-out", s(&warm_trace), &req,
+    ]);
+    assert_eq!(cold, warm, "warm report must stay byte-identical");
+
+    let cold_text = std::fs::read_to_string(&cold_trace).unwrap();
+    let warm_text = std::fs::read_to_string(&warm_trace).unwrap();
+    assert!(
+        cold_text.contains("store.open"),
+        "cold trace opens the stores: {cold_text}"
+    );
+    assert!(
+        !warm_text.contains("store.open"),
+        "warm trace must skip store.open: {warm_text}"
+    );
+    // The warm request still did real work — refinement spans present.
+    assert!(
+        warm_text.contains("refine.fixpoint"),
+        "warm trace still records the pipeline: {warm_text}"
+    );
+    // And both per-request traces aggregate through `rdf stats`.
+    let stats = run_ok(&["stats", s(&warm_trace)]);
+    assert!(stats.contains("refine.fixpoint"), "{stats}");
+}
+
+/// Under a one-byte budget nothing can stay resident: every request
+/// decodes cold, the stats report the evictions, and reports are still
+/// correct (eviction is a cache concern, never a correctness one).
+#[test]
+fn tiny_cache_budget_evicts_but_stays_correct() {
+    let dir = TempDir::new("evict");
+    let (v1, v2) = fixture(&dir);
+    let one_shot = run_ok(&["align", s(&v1), s(&v2)]);
+    let daemon =
+        Daemon::start(&dir.path("rdf.sock"), &["--cache-bytes", "1"]);
+    let req = align_request(&v1, &v2);
+    for _ in 0..2 {
+        let served =
+            run_ok(&["request", "--socket", daemon.sock(), &req]);
+        assert_eq!(served, one_shot);
+    }
+    let stats =
+        run_ok(&["request", "--socket", daemon.sock(), r#"{"op":"stats"}"#]);
+    assert!(stats.contains("entries 0"), "nothing fits: {stats}");
+    assert!(stats.contains("hits 0"), "no warm hits possible: {stats}");
+    assert!(
+        stats.contains("evictions 4"),
+        "each of the 4 loads was evicted: {stats}"
+    );
+}
+
+/// Malformed request lines get a typed JSON `bad_request` error on the
+/// same connection — never a dropped connection, never a dead server.
+#[test]
+fn malformed_lines_get_typed_errors_not_dropped_connections() {
+    let dir = TempDir::new("malformed");
+    let daemon = Daemon::start(&dir.path("rdf.sock"), &[]);
+
+    // Three malformed lines then a valid one, all on ONE connection.
+    let replies = raw_roundtrips(
+        &daemon.socket,
+        &[
+            "this is not json",
+            r#"{"op":"make_coffee"}"#,
+            r#"{"op":"align","source":"/x"}"#,
+            r#"{"op":"stats"}"#,
+        ],
+    );
+    for bad in &replies[..3] {
+        assert!(bad.contains(r#""ok":false"#), "typed error: {bad}");
+        assert!(
+            bad.contains(r#""kind":"bad_request""#),
+            "bad_request kind: {bad}"
+        );
+    }
+    assert!(replies[3].contains(r#""ok":true"#), "{}", replies[3]);
+
+    // An engine failure (nonexistent store) is typed too, and the
+    // server keeps serving fresh connections afterwards.
+    let replies = raw_roundtrips(
+        &daemon.socket,
+        &[r#"{"op":"info","path":"/nonexistent.rdfb"}"#],
+    );
+    assert!(replies[0].contains(r#""kind":"engine""#), "{}", replies[0]);
+    assert!(
+        replies[0].contains("nonexistent.rdfb"),
+        "error names the path: {}",
+        replies[0]
+    );
+
+    // The client maps protocol errors to exit 2 with a `serve <kind>:`
+    // prefix.
+    let out = Command::new(bin())
+        .args(["request", "--socket", daemon.sock(), "not json either"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("serve bad_request:"), "got: {err}");
+
+    let stats =
+        run_ok(&["request", "--socket", daemon.sock(), r#"{"op":"stats"}"#]);
+    assert!(stats.contains("errors 5"), "errors counted: {stats}");
+}
+
+/// `info` over the daemon matches the one-shot CLI byte-for-byte as
+/// well (it re-validates checksums on disk every time, by contract).
+#[test]
+fn served_info_matches_one_shot_cli() {
+    let dir = TempDir::new("info");
+    let (v1, _) = fixture(&dir);
+    let one_shot = run_ok(&["info", s(&v1)]);
+    let daemon = Daemon::start(&dir.path("rdf.sock"), &[]);
+    let req = format!(r#"{{"op":"info","path":"{}"}}"#, v1.display());
+    let served = run_ok(&["request", "--socket", daemon.sock(), &req]);
+    assert_eq!(served, one_shot);
+
+    let (clean, rest) = daemon.terminate();
+    assert!(clean);
+    assert!(rest.contains("requests served"), "{rest:?}");
+}

@@ -12,18 +12,24 @@
 //! * [`chunk_ranges`] — split an index space into near-even contiguous
 //!   ranges;
 //! * [`scoped_map`] — run one closure per task on scoped threads and
-//!   collect the results in task order.
+//!   collect the results in task order;
+//! * [`WorkerPool`] — a small persistent gang for long-running
+//!   processes (the `rdf serve` daemon) that must not pay a spawn per
+//!   request.
 //!
 //! Threads are spawned per call (a few tens of microseconds each); the
 //! intended callers amortise that over work measured in milliseconds
 //! per round and keep all *allocations* (scratch buffers, interning
-//! maps) in long-lived engine state instead.
+//! maps) in long-lived engine state instead. [`WorkerPool`] is the
+//! exception, for callers whose unit of work is a whole request.
 
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::{Barrier, BarrierWaitResult};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Barrier, BarrierWaitResult, Mutex};
 use std::time::Instant;
 
 use rdf_obs::Recorder;
@@ -225,10 +231,135 @@ where
     Ok(out)
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker gang: `n` named OS threads pulling jobs off one
+/// shared queue, living for the lifetime of the pool.
+///
+/// [`scoped_map`] spawns per call, which is right for the CLI (one
+/// burst of work per process). A long-running server wants the
+/// opposite: spawn once at startup, then run every request on the same
+/// gang so steady-state request handling never touches
+/// `thread::spawn`. Jobs are executed in submission order by whichever
+/// worker frees up first.
+///
+/// A panicking job is caught on the worker ([`WorkerPool::submit`]) or
+/// reported back to the caller ([`WorkerPool::run`]) — it never kills
+/// the worker thread, so one poisoned request cannot degrade the gang.
+///
+/// Dropping the pool (or calling [`WorkerPool::shutdown`]) closes the
+/// queue, lets queued jobs drain, and joins every worker.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    completed: Arc<AtomicU64>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads.resolve()` workers (named
+    /// `rdf-worker-<k>` for debuggers and `/proc`).
+    pub fn new(threads: Threads) -> WorkerPool {
+        let n = threads.resolve();
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let completed = Arc::new(AtomicU64::new(0));
+        let workers = (0..n)
+            .map(|k| {
+                let rx = Arc::clone(&rx);
+                let completed = Arc::clone(&completed);
+                std::thread::Builder::new()
+                    .name(format!("rdf-worker-{k}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while *receiving*: a slow
+                        // job must not serialise the whole gang.
+                        let job = {
+                            let guard = rx
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                // A panic inside one request must not
+                                // take the worker down with it.
+                                let _ = catch_unwind(
+                                    AssertUnwindSafe(job),
+                                );
+                                completed
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Channel closed: pool is shutting down.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            completed,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total jobs executed so far (including panicked ones) — a cheap
+    /// liveness/stats signal for `stats` endpoints.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue a fire-and-forget job. Panics in the job are swallowed
+    /// (the worker survives); use [`WorkerPool::run`] when the caller
+    /// needs the result or the panic.
+    ///
+    /// # Panics
+    /// Panics if called after [`WorkerPool::shutdown`].
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is shut down")
+            .send(Box::new(job))
+            .expect("pool workers alive while sender is held");
+    }
+
+    /// Run `f` on the gang and block until it finishes, returning its
+    /// result — or `Err` with the panic payload if it panicked.
+    pub fn run<R: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> R + Send + 'static,
+    ) -> std::thread::Result<R> {
+        let (tx, rx) = mpsc::channel();
+        self.submit(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+        });
+        rx.recv().expect("pool worker dropped the result channel")
+    }
+
+    /// Close the queue, drain queued jobs, and join every worker.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
     /// Every test that reads *or* writes `RDF_THREADS` holds this lock:
     /// libtest runs tests on multiple threads, and a concurrent
@@ -354,6 +485,45 @@ mod tests {
                 "missing barrier counter for worker {w}"
             );
         }
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_returns_results() {
+        let pool = WorkerPool::new(Threads::Fixed(4));
+        assert_eq!(pool.size(), 4);
+        let results: Vec<u64> =
+            (0..32u64).map(|i| pool.run(move || i * i).unwrap()).collect();
+        assert_eq!(results, (0..32u64).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.completed(), 32);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        let pool = WorkerPool::new(Threads::Fixed(2));
+        // One panic per worker: both must survive it.
+        for _ in 0..2 {
+            let err = pool.run(|| panic!("request poisoned")).unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("poisoned"), "got {msg:?}");
+        }
+        // The gang still serves work afterwards.
+        assert_eq!(pool.run(|| 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn worker_pool_shutdown_drains_queued_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkerPool::new(Threads::Fixed(2));
+        for _ in 0..64 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        // Idempotent.
+        pool.shutdown();
     }
 
     #[test]

@@ -172,12 +172,15 @@ impl BorrowedStoreReader {
                     let col = fixed_column(node_body, &fb, 0);
                     match label_ids_from_le_bytes(col) {
                         Some(ids) if fb.width == 4 => Cow::Borrowed(ids),
-                        _ => Cow::Owned(
-                            widen_column(col, fb.width)
-                                .into_iter()
-                                .map(LabelId)
-                                .collect(),
-                        ),
+                        _ => {
+                            rec.counter("store.widen").add(1);
+                            Cow::Owned(
+                                widen_column(col, fb.width)
+                                    .into_iter()
+                                    .map(LabelId)
+                                    .collect(),
+                            )
+                        }
                     }
                 }
             }
@@ -215,12 +218,15 @@ impl BorrowedStoreReader {
                             Some(ids) if fb.width == 4 => {
                                 Cow::Borrowed(ids)
                             }
-                            _ => Cow::Owned(
-                                widen_column(col, fb.width)
-                                    .into_iter()
-                                    .map(NodeId)
-                                    .collect::<Vec<_>>(),
-                            ),
+                            _ => {
+                                rec.counter("store.widen").add(1);
+                                Cow::Owned(
+                                    widen_column(col, fb.width)
+                                        .into_iter()
+                                        .map(NodeId)
+                                        .collect::<Vec<_>>(),
+                                )
+                            }
                         }
                     });
                     let (s, p, o) = (

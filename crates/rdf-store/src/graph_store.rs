@@ -421,6 +421,10 @@ pub struct StoreInfo {
     /// fixed stores depending on the `TRPL` column width (meaningful
     /// for graph-bearing kinds only).
     pub mode: LoadMode,
+    /// Byte width of the fixed `TRPL` columns (`None` for varint
+    /// stores or non-graph kinds). Lets callers render `widen
+    /// (width N)` instead of a bare `widen`.
+    pub trpl_width: Option<u8>,
     /// Total file size in bytes.
     pub file_bytes: usize,
     /// `(tag, payload bytes)` per section, in file order. Present only
@@ -446,26 +450,28 @@ impl StoreReader {
     pub fn info(&self) -> Result<StoreInfo, StoreError> {
         let c = Container::parse(&self.bytes)?;
         let layout = c.header().layout();
-        let mode = match layout {
-            Layout::Varint => LoadMode::Decode,
+        let (mode, trpl_width) = match layout {
+            Layout::Varint => (LoadMode::Decode, None),
             Layout::Fixed => {
                 let width = c.section(TAG_TRPL).ok().and_then(|b| {
                     parse_fixed_body(b, 3, None, "fixed TRPL section")
                         .ok()
                         .map(|fb| fb.width)
                 });
-                match width {
+                let mode = match width {
                     Some(4) if cfg!(target_endian = "little") => {
                         LoadMode::Borrow
                     }
                     _ => LoadMode::Widen,
-                }
+                };
+                (mode, width)
             }
         };
         Ok(StoreInfo {
             header: *c.header(),
             layout,
             mode,
+            trpl_width,
             file_bytes: self.bytes.len(),
             sections: c
                 .sections()

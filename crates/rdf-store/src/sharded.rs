@@ -477,8 +477,32 @@ impl ShardedReader {
     /// shard's columns at a time. The triples are *never* stitched
     /// into a resident [`TripleGraph`] — this is the external-memory
     /// entry point of the Luo et al. / Hellings et al. construction.
+    ///
+    /// Every shard file is read and fully checksum-verified **here,
+    /// once** (manifest whole-file CRC plus the shard's own section
+    /// checksums); subsequent [`StreamingStore::load_shard`] calls
+    /// re-read the bytes but skip the checksum passes, so a 20-round
+    /// fixpoint pays for 20 reads and **one** validation — not 20.
+    /// Corruption therefore surfaces before any refinement work starts.
     pub fn open_streaming(&self) -> Result<StreamingStore, StoreError> {
+        self.open_streaming_traced(Arc::new(Recorder::disabled()))
+            .map(|(store, _)| store)
+    }
+
+    /// [`ShardedReader::open_streaming`] with instrumentation, also
+    /// returning the [`ShardedInfo`] summary gathered by the one-time
+    /// validation pass (callers rendering `rdf info` output must not
+    /// pay a second full read). The recorder is retained by the store,
+    /// so later `shard.load` spans land in the same trace; the
+    /// validation pass itself emits one `shard.crc` span per shard
+    /// (fields: `shard`, `bytes`) — exactly once per run, regardless
+    /// of how many refinement rounds follow.
+    pub fn open_streaming_traced(
+        &self,
+        rec: Arc<Recorder>,
+    ) -> Result<(StreamingStore, ShardedInfo), StoreError> {
         let c = Container::parse(&self.bytes)?;
+        let version = c.header().version;
         let layout = c.header().layout();
         let manifest = parse_manifest(&c)?;
         let vocab =
@@ -489,14 +513,37 @@ impl ShardedReader {
             Some(manifest.nodes),
             layout,
         )?;
-        Ok(StreamingStore {
-            dir: self.dir.clone(),
-            manifest,
-            vocab,
-            labels,
-            kinds,
-            recorder: Arc::new(Recorder::disabled()),
-        })
+        // The one-time validation pass: whole-file CRC against the
+        // manifest, then the shard's own framing, kind, index and
+        // section checksums. load_shard trusts these from here on.
+        let mut shard_bytes = Vec::with_capacity(manifest.shards.len());
+        for (k, entry) in manifest.shards.iter().enumerate() {
+            let mut sp = rec.span("shard.crc");
+            sp.field("shard", k);
+            let bytes = read_shard_file(&self.dir, entry)?;
+            sp.field("bytes", bytes.len());
+            check_shard_crc(&bytes, entry)?;
+            shard_trpl_body(&bytes, k, entry)
+                .map_err(|e| wrap_in_shard(entry, e))?;
+            shard_bytes.push(bytes.len() as u64);
+        }
+        let info = ShardedInfo {
+            version,
+            manifest: manifest.clone(),
+            manifest_bytes: self.bytes.len(),
+            shard_bytes,
+        };
+        Ok((
+            StreamingStore {
+                dir: self.dir.clone(),
+                manifest,
+                vocab,
+                labels,
+                kinds,
+                recorder: rec,
+            },
+            info,
+        ))
     }
 }
 
@@ -549,11 +596,14 @@ fn read_shard_file(
 /// triples stay on disk and are served one shard at a time through the
 /// [`ShardColumnsSource`] implementation.
 ///
-/// Every [`StreamingStore::load_shard`] call re-reads and re-validates
-/// its shard file (manifest CRC over the whole file, container section
-/// checksums, shard index and triple count) — corruption surfaces as
-/// the same typed [`StoreError`]s the stitched load reports, on every
-/// refinement round that touches the shard.
+/// Checksums are verified **once**, by the
+/// [`ShardedReader::open_streaming`] validation pass — each
+/// [`StreamingStore::load_shard`] call re-reads its shard file but
+/// skips the whole-file CRC and section-checksum passes (framing,
+/// lengths, kind, index and triple counts are still checked, so a file
+/// swapped mid-run still fails with a typed [`StoreError`]). Like any
+/// mmap'd reader, external modification of a store *during* a run is
+/// outside the supported contract.
 ///
 /// Built by [`ShardedReader::open_streaming`]:
 ///
@@ -598,8 +648,9 @@ pub struct StreamingStore {
 impl StreamingStore {
     /// Attach an instrumentation recorder: every subsequent
     /// [`StreamingStore::load_shard`] emits a `shard.load` span (shard
-    /// index, file bytes, CRC-check time). Defaults to the disabled
-    /// recorder, which records nothing.
+    /// index, file bytes — no `crc_us`: checksums were verified once at
+    /// open). Prefer [`ShardedReader::open_streaming_traced`], which
+    /// also captures the one-time `shard.crc` validation spans.
     pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
         self.recorder = recorder;
     }
@@ -643,11 +694,8 @@ impl ShardColumnsSource for StreamingStore {
         sp.field("shard", k);
         let bytes = read_shard_file(&self.dir, entry)?;
         sp.field("bytes", bytes.len());
-        let crc_start = sp.enabled().then(Instant::now);
-        check_shard_crc(&bytes, entry)?;
-        if let Some(start) = crc_start {
-            sp.field("crc_us", start.elapsed().as_micros() as u64);
-        }
+        // No checksum pass here: open_streaming() validated this file
+        // (whole-file CRC + section CRCs) exactly once, up front.
         decode_shard_columns(&bytes, k, entry)
             .map_err(|e| wrap_in_shard(entry, e))
     }
@@ -662,7 +710,9 @@ fn decode_shard_columns(
     index: usize,
     entry: &ShardEntry,
 ) -> Result<ShardColumns, StoreError> {
-    let (body, layout) = shard_trpl_body(bytes, index, entry)?;
+    // Trusted parse: the streaming open already checksummed this file;
+    // the per-round re-parse validates framing and counts only.
+    let (body, layout) = shard_trpl_body_with(bytes, index, entry, true)?;
     Ok(match layout {
         Layout::Varint => ShardColumns::from_sorted_triples(&decode_trpl(
             body,
@@ -838,7 +888,23 @@ fn shard_trpl_body<'a>(
     index: usize,
     entry: &ShardEntry,
 ) -> Result<(&'a [u8], Layout), StoreError> {
-    let c = Container::parse(bytes)?;
+    shard_trpl_body_with(bytes, index, entry, false)
+}
+
+/// [`shard_trpl_body`] with a `trusted` switch: a trusted parse skips
+/// the section-checksum comparison (for buffers validated earlier in
+/// the same run — the streaming engine's per-round re-reads).
+fn shard_trpl_body_with<'a>(
+    bytes: &'a [u8],
+    index: usize,
+    entry: &ShardEntry,
+    trusted: bool,
+) -> Result<(&'a [u8], Layout), StoreError> {
+    let c = if trusted {
+        Container::parse_trusted(bytes)?
+    } else {
+        Container::parse(bytes)?
+    };
     let header = *c.header();
     if header.kind != KIND_SHARD {
         return Err(StoreError::WrongContentKind {
@@ -1083,6 +1149,78 @@ mod tests {
         assert_eq!(report.span("shard.load").unwrap().count, 3);
         assert_eq!(report.span("store.open").unwrap().count, 1);
         assert_eq!(report.span("store.section").unwrap().count, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_validates_shard_crcs_once_per_run_not_per_round() {
+        let dir = tmp("crc-once");
+        let (vocab, g) = sample();
+        let manifest = dir.join("c.rdfm");
+        save_sharded(&manifest, &vocab, &g, 3).unwrap();
+        let reader = ShardedReader::open(&manifest).unwrap();
+
+        // Shared Vec<u8> sink so the raw JSONL lines can be inspected.
+        #[derive(Clone, Default)]
+        struct Buf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let rec = Arc::new(Recorder::jsonl_writer(Box::new(buf.clone())));
+        let (store, info) =
+            reader.open_streaming_traced(Arc::clone(&rec)).unwrap();
+        assert_eq!(info.shard_bytes.len(), 3);
+        // Simulate a 5-round fixpoint: every round re-reads every
+        // shard. The checksum pass must NOT scale with rounds.
+        let rounds = 5u64;
+        for _ in 0..rounds {
+            for k in 0..store.shard_count() {
+                store.load_shard(k).unwrap();
+            }
+        }
+        let report = rec.finish().unwrap().unwrap();
+        assert_eq!(report.span("shard.crc").unwrap().count, 3);
+        assert_eq!(report.span("shard.load").unwrap().count, rounds * 3);
+        let text =
+            String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        for line in text.lines().filter(|l| l.contains("shard.load")) {
+            assert!(
+                !line.contains("crc_us"),
+                "per-round CRC pass resurfaced: {line}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_streaming_rejects_corrupt_shards_up_front() {
+        let dir = tmp("crc-eager");
+        let (vocab, g) = sample();
+        let manifest = dir.join("e.rdfm");
+        let paths = save_sharded(&manifest, &vocab, &g, 2).unwrap();
+        // Flip one payload byte in the last shard file: the damage must
+        // surface at open_streaming(), before any refinement round.
+        let shard_path = paths.last().unwrap();
+        let mut bytes = std::fs::read(shard_path).unwrap();
+        let mid = bytes.len() - 5;
+        bytes[mid] ^= 0xff;
+        std::fs::write(shard_path, &bytes).unwrap();
+        let err = ShardedReader::open(&manifest)
+            .unwrap()
+            .open_streaming()
+            .unwrap_err();
+        assert!(
+            matches!(err, StoreError::ShardChecksumMismatch { .. }),
+            "expected eager shard CRC failure, got {err:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
